@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks of the functional kernels underlying every
+//! experiment: the object packing scheme (Fig. 5), layout bitmaps
+//! (Fig. 4), and each serializer's encode/decode path on the JSBS
+//! media-content object and a microbenchmark tree.
+//!
+//! These measure *this implementation's* real throughput (not the
+//! simulated hardware) — they are the regression guard for the codecs
+//! the simulators replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sdformat::pack::{Packed, Packer, Unpacker};
+use sdheap::{Addr, Heap};
+use serializers::{JavaSd, Kryo, NullSink, Serializer, Skyway};
+use workloads::{media_content, MicroBench, Scale};
+
+fn bench_packing(c: &mut Criterion) {
+    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
+    let mut g = c.benchmark_group("packing");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("pack_4k_relative_addresses", |b| {
+        b.iter(|| Packed::from_values(values.iter().copied()))
+    });
+    let packed = Packed::from_values(values.iter().copied());
+    g.bench_function("unpack_4k_relative_addresses", |b| {
+        b.iter(|| {
+            let mut u = Unpacker::new(&packed);
+            let mut n = 0u64;
+            while let Some(v) = u.next_value() {
+                n = n.wrapping_add(v);
+            }
+            n
+        })
+    });
+    let bitmaps: Vec<Vec<bool>> = (0..512)
+        .map(|i| (0..48).map(|w| (w + i) % 7 == 0).collect())
+        .collect();
+    g.bench_function("pack_512_layout_bitmaps", |b| {
+        b.iter(|| {
+            let mut p = Packer::new();
+            for bm in &bitmaps {
+                p.push_bits(bm);
+            }
+            p.finish()
+        })
+    });
+    g.finish();
+}
+
+fn roundtrip(ser: &dyn Serializer, heap: &mut Heap, reg: &sdheap::KlassRegistry, root: Addr) {
+    heap.gc_clear_serialization_metadata(reg);
+    let bytes = ser.serialize(heap, reg, root, &mut NullSink).expect("ok");
+    let mut dst = Heap::with_base(Addr(0x40_0000_0000), heap.capacity_bytes());
+    ser.deserialize(&bytes, reg, &mut dst, &mut NullSink).expect("ok");
+}
+
+fn make(name: &str) -> Box<dyn Serializer> {
+    match name {
+        "java" => Box::new(JavaSd::new()),
+        "kryo" => Box::new(Kryo::new()),
+        "skyway" => Box::new(Skyway::new()),
+        _ => Box::new(cereal::CerealSerializer::new()),
+    }
+}
+
+fn bench_serializers_media(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jsbs_media_content_roundtrip");
+    for name in ["java", "kryo", "skyway", "cereal"] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                media_content,
+                |(mut heap, reg, root)| {
+                    roundtrip(make(name).as_ref(), &mut heap, &reg, root);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_serializers_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_narrow_tiny_roundtrip");
+    g.sample_size(20);
+    for name in ["java", "kryo", "skyway", "cereal"] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || MicroBench::TreeNarrow.build(Scale::Tiny),
+                |(mut heap, reg, root)| {
+                    roundtrip(make(name).as_ref(), &mut heap, &reg, root);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_traversal(c: &mut Criterion) {
+    let (heap, reg, root) = MicroBench::GraphSparse.build(Scale::Tiny);
+    let mut g = c.benchmark_group("heap");
+    g.bench_function("bfs_reachable_graph_sparse", |b| {
+        b.iter(|| sdheap::reachable(&heap, &reg, root, sdheap::Reachable::BreadthFirst).len())
+    });
+    g.bench_function("graph_stats_graph_sparse", |b| {
+        b.iter(|| sdheap::GraphStats::measure(&heap, &reg, root))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_packing, bench_serializers_media, bench_serializers_tree, bench_graph_traversal
+);
+criterion_main!(kernels);

@@ -1,0 +1,28 @@
+//! Runs the complete evaluation — every figure and table — in one pass,
+//! reusing each suite's measurements.
+use cereal_bench::{jsbs_suite, micro_suite, render, spark_suite};
+
+fn main() {
+    let micro_scale = micro_suite::scale_from_env();
+    let spark_scale = spark_suite::scale_from_env();
+    eprintln!("running microbenchmark suite at {micro_scale:?}...");
+    let micro = micro_suite::run(micro_scale);
+    eprintln!("running JSBS suite...");
+    let jsbs = jsbs_suite::run();
+    eprintln!("running Spark application suite at {spark_scale:?}...");
+    let spark = spark_suite::run(spark_scale);
+
+    println!("{}", render::table1());
+    println!("{}", render::fig2(&spark));
+    println!("{}", render::fig3(&micro));
+    println!("{}", render::fig10(&micro));
+    println!("{}", render::fig11(&micro));
+    println!("{}", render::table4(&micro));
+    println!("{}", render::fig12(&jsbs));
+    println!("{}", render::fig13(&spark));
+    println!("{}", render::fig14(&spark));
+    println!("{}", render::fig15(&spark));
+    println!("{}", render::fig16(&spark));
+    println!("{}", render::fig17(&spark));
+    println!("{}", render::table5());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10: microbenchmark S/D speedups (incl. Vanilla).
+fn main() {
+    let scale = cereal_bench::micro_suite::scale_from_env();
+    let results = cereal_bench::micro_suite::run(scale);
+    println!("{}", cereal_bench::render::fig10(&results));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 11: microbenchmark DRAM bandwidth utilization.
+fn main() {
+    let scale = cereal_bench::micro_suite::scale_from_env();
+    let results = cereal_bench::micro_suite::run(scale);
+    println!("{}", cereal_bench::render::fig11(&results));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12: the JSBS 88-library comparison.
+fn main() {
+    let r = cereal_bench::jsbs_suite::run();
+    println!("{}", cereal_bench::render::fig12(&r));
+}

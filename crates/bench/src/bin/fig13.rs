@@ -1,0 +1,6 @@
+//! Regenerates Fig. 13: S/D speedups on the Spark applications.
+fn main() {
+    let scale = cereal_bench::spark_suite::scale_from_env();
+    let results = cereal_bench::spark_suite::run(scale);
+    println!("{}", cereal_bench::render::fig13(&results));
+}

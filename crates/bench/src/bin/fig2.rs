@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2: runtime breakdown of the Spark applications.
+fn main() {
+    let scale = cereal_bench::spark_suite::scale_from_env();
+    let results = cereal_bench::spark_suite::run(scale);
+    println!("{}", cereal_bench::render::fig2(&results));
+}

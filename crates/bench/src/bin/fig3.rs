@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3: CPU-side S/D analysis on the microbenchmarks.
+fn main() {
+    let scale = cereal_bench::micro_suite::scale_from_env();
+    let results = cereal_bench::micro_suite::run(scale);
+    println!("{}", cereal_bench::render::fig3(&results));
+}

@@ -1,0 +1,4 @@
+//! Prints Table I: the architectural parameters in effect.
+fn main() {
+    println!("{}", cereal_bench::render::table1());
+}

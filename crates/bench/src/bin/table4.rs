@@ -1,0 +1,6 @@
+//! Regenerates Table IV: serialized sizes across the microbenchmarks.
+fn main() {
+    let scale = cereal_bench::micro_suite::scale_from_env();
+    let results = cereal_bench::micro_suite::run(scale);
+    println!("{}", cereal_bench::render::table4(&results));
+}

@@ -1,0 +1,4 @@
+//! Prints Table V: area/power breakdown of the accelerator.
+fn main() {
+    println!("{}", cereal_bench::render::table5());
+}

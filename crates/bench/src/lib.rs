@@ -1,0 +1,27 @@
+//! `cereal-bench` — the experiment harness that regenerates every table
+//! and figure in the Cereal paper's evaluation (§VI).
+//!
+//! One binary per figure/table (`cargo run -p cereal-bench --release
+//! --bin fig10`), plus `--bin all`, which runs the whole evaluation and
+//! emits an EXPERIMENTS.md-style report. Set `CEREAL_SCALE=tiny` for a
+//! quick pass; the default `scaled` runs the DESIGN.md workload sizes.
+//!
+//! | Experiment | Module |
+//! |---|---|
+//! | Fig. 2 (runtime breakdown) | [`render::fig2`] over [`spark_suite`] |
+//! | Fig. 3 (CPU S/D analysis) | [`render::fig3`] over [`micro_suite`] |
+//! | Fig. 10 (microbench speedups) | [`render::fig10`] |
+//! | Fig. 11 (microbench bandwidth) | [`render::fig11`] |
+//! | Table IV (serialized sizes) | [`render::table4`] |
+//! | Fig. 12 (JSBS, 88 libraries) | [`render::fig12`] over [`jsbs_suite`] |
+//! | Fig. 13–17 (Spark) | [`render::fig13`] … [`render::fig17`] |
+//! | Tables I & V | [`render::table1`], [`render::table5`] |
+
+pub mod jsbs_suite;
+pub mod micro_suite;
+pub mod render;
+pub mod runners;
+pub mod spark_suite;
+pub mod table;
+
+pub use runners::{repeat_root, run_cereal, run_software, SdMeasure};

@@ -1,0 +1,453 @@
+//! The accelerator top level: command queue, request scheduler, and the
+//! SU/DU pools (paper Fig. 6).
+//!
+//! The host issues serialization/deserialization requests; the scheduler
+//! hands each to the earliest-available unit of the right kind
+//! (operation-level parallelism, §V-D). All units share the DRAM system,
+//! so concurrent requests contend for channel bandwidth exactly as the
+//! software baselines do.
+//!
+//! Every request is executed *functionally* (real bytes in, real bytes
+//! out, verified by the round-trip tests) and *temporally* (the workload
+//! descriptor is replayed through the unit timing models).
+
+use sdheap::{Addr, Heap, KlassId, KlassRegistry};
+use serializers::SerError;
+use sim::Dram;
+
+use crate::config::CerealConfig;
+use crate::du::DeserializationUnit;
+use crate::energy;
+use crate::functional::{decode, encode};
+use crate::su::{SerializationUnit, UnitRun};
+use crate::tables::ClassTables;
+
+/// Timed result of one serialization request.
+#[derive(Clone, Debug)]
+pub struct SerResult {
+    /// The serialized stream bytes.
+    pub bytes: Vec<u8>,
+    /// Unit timing (or host-CPU timing when `fell_back`).
+    pub run: UnitRun,
+    /// Which SU executed the request (0 when `fell_back`).
+    pub unit: usize,
+    /// Whether the request fell back to software serialization because a
+    /// shared object's header was reserved by another unit (§V-E).
+    pub fell_back: bool,
+}
+
+/// Timed result of one deserialization request.
+#[derive(Clone, Copy, Debug)]
+pub struct DeResult {
+    /// Root of the reconstructed graph.
+    pub root: Addr,
+    /// Unit timing.
+    pub run: UnitRun,
+    /// Which DU executed the request.
+    pub unit: usize,
+}
+
+/// Aggregate report over everything the accelerator has executed since
+/// construction (or the last [`Accelerator::reset_meters`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccelReport {
+    /// Serialization requests completed.
+    pub ser_requests: u64,
+    /// Deserialization requests completed.
+    pub de_requests: u64,
+    /// Completion time of the last serialization request (ns).
+    pub ser_makespan_ns: f64,
+    /// Completion time of the last deserialization request (ns).
+    pub de_makespan_ns: f64,
+    /// Completion time over all requests (ns).
+    pub makespan_ns: f64,
+    /// Summed SU busy time (ns).
+    pub su_busy_ns: f64,
+    /// Summed DU busy time (ns).
+    pub du_busy_ns: f64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Fraction of peak DRAM bandwidth used over the makespan.
+    pub bandwidth_util: f64,
+    /// Accelerator energy in microjoules (Table V model).
+    pub energy_uj: f64,
+}
+
+/// The Cereal accelerator.
+#[derive(Debug)]
+pub struct Accelerator {
+    cfg: CerealConfig,
+    tables: ClassTables,
+    dram: Dram,
+    su: Vec<SerializationUnit>,
+    du: Vec<DeserializationUnit>,
+    su_free: Vec<f64>,
+    du_free: Vec<f64>,
+    serial_counter: u16,
+    su_busy: f64,
+    du_busy: f64,
+    ser_requests: u64,
+    de_requests: u64,
+    ser_makespan: f64,
+    de_makespan: f64,
+}
+
+impl Accelerator {
+    /// An accelerator with the given configuration (`Initialize` in the
+    /// paper's software interface).
+    pub fn new(cfg: CerealConfig) -> Self {
+        Accelerator {
+            tables: ClassTables::new(cfg.max_classes),
+            dram: Dram::new(cfg.dram),
+            su: (0..cfg.num_su).map(|_| SerializationUnit::new(&cfg)).collect(),
+            du: (0..cfg.num_du).map(|_| DeserializationUnit::new(&cfg)).collect(),
+            su_free: vec![0.0; cfg.num_su],
+            du_free: vec![0.0; cfg.num_du],
+            serial_counter: 0,
+            su_busy: 0.0,
+            du_busy: 0.0,
+            ser_requests: 0,
+            de_requests: 0,
+            ser_makespan: 0.0,
+            de_makespan: 0.0,
+            cfg,
+        }
+    }
+
+    /// The Table I configuration.
+    pub fn paper() -> Self {
+        Accelerator::new(CerealConfig::paper())
+    }
+
+    /// The "Cereal Vanilla" ablation.
+    pub fn vanilla() -> Self {
+        Accelerator::new(CerealConfig::vanilla())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CerealConfig {
+        &self.cfg
+    }
+
+    /// `RegisterClass(Class Type)`: makes one class serializable.
+    ///
+    /// # Errors
+    /// [`SerError::Unsupported`] when the hardware table is full.
+    pub fn register_class(&mut self, reg: &KlassRegistry, id: KlassId) -> Result<(), SerError> {
+        self.tables.register(reg, id)
+    }
+
+    /// Registers every class of a registry.
+    ///
+    /// # Errors
+    /// [`SerError::Unsupported`] when the hardware table is full.
+    pub fn register_all(&mut self, reg: &KlassRegistry) -> Result<(), SerError> {
+        self.tables.register_all(reg)
+    }
+
+    /// Number of classes registered with the hardware.
+    pub fn registered_classes(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn next_counter(&mut self, heap: &mut Heap, reg: &KlassRegistry) -> u16 {
+        if self.serial_counter == u16::MAX {
+            // Counter about to overflow: the paper forces a GC, which
+            // clears the per-object serialization metadata (§V-E).
+            heap.gc_clear_serialization_metadata(reg);
+            self.serial_counter = 0;
+        }
+        self.serial_counter += 1;
+        self.serial_counter
+    }
+
+    /// Serializes the graph rooted at `root` (the `WriteObject` call):
+    /// functional bytes plus unit timing.
+    ///
+    /// # Errors
+    /// [`SerError`] for unregistered classes or the shared-object
+    /// software-fallback case.
+    pub fn serialize(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+    ) -> Result<SerResult, SerError> {
+        let counter = self.next_counter(heap, reg);
+        // Pick the earliest-free SU.
+        let unit = (0..self.cfg.num_su)
+            .min_by(|&a, &b| self.su_free[a].partial_cmp(&self.su_free[b]).expect("no NaN"))
+            .expect("num_su > 0");
+        let outcome = encode(
+            heap,
+            reg,
+            &self.tables,
+            counter,
+            unit as u8,
+            self.cfg.strip_mark_words,
+        )
+        .run(root)?;
+        let start = self.su_free[unit];
+        let run = self.su[unit].run(&self.cfg, &outcome.workload, start, &mut self.dram);
+        self.su_free[unit] = run.end_ns;
+        self.su_busy += run.busy_ns();
+        self.ser_requests += 1;
+        self.ser_makespan = self.ser_makespan.max(run.end_ns);
+        Ok(SerResult {
+            bytes: outcome.stream.to_bytes(),
+            run,
+            unit,
+            fell_back: false,
+        })
+    }
+
+    /// Like [`Accelerator::serialize`], but when the hardware path hits a
+    /// shared object whose header another unit reserved, the request
+    /// falls back to **software serialization** (§V-E): the same stream
+    /// is produced with a thread-local visited table, timed on the host
+    /// CPU model — "this can potentially reduce the performance benefits
+    /// of the Cereal", exactly as the paper warns.
+    ///
+    /// # Errors
+    /// [`SerError`] for errors other than the reservation conflict.
+    pub fn serialize_with_fallback(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+    ) -> Result<SerResult, SerError> {
+        match self.serialize(heap, reg, root) {
+            Err(SerError::Unsupported(msg)) if msg.contains("reserved by another") => {
+                let mut cpu = sim::Cpu::host();
+                let stream = crate::functional::encode_software(
+                    heap,
+                    reg,
+                    &self.tables,
+                    self.cfg.strip_mark_words,
+                    &mut cpu,
+                )
+                .run(root)?;
+                let ns = cpu.report().ns;
+                self.ser_requests += 1;
+                Ok(SerResult {
+                    bytes: stream.to_bytes(),
+                    run: UnitRun {
+                        start_ns: 0.0,
+                        end_ns: ns,
+                        read_bytes: cpu.report().dram_bytes,
+                        write_bytes: 0,
+                    },
+                    unit: 0,
+                    fell_back: true,
+                })
+            }
+            other => other,
+        }
+    }
+
+    /// Deserializes `bytes` into `dst` (the `ReadObject` call).
+    ///
+    /// # Errors
+    /// [`SerError`] on malformed streams, unregistered class IDs, or heap
+    /// exhaustion.
+    pub fn deserialize(
+        &mut self,
+        bytes: &[u8],
+        dst: &mut Heap,
+    ) -> Result<DeResult, SerError> {
+        let stream = sdformat::CerealStream::from_bytes(bytes)
+            .map_err(|_| SerError::Malformed("undecodable Cereal stream"))?;
+        let unit = (0..self.cfg.num_du)
+            .min_by(|&a, &b| self.du_free[a].partial_cmp(&self.du_free[b]).expect("no NaN"))
+            .expect("num_du > 0");
+        let dst_base = dst.top_addr().get();
+        let (root, workload) = decode(&stream, &self.tables, dst, self.cfg.strip_mark_words)?;
+        let start = self.du_free[unit];
+        let run = self.du[unit].run(&self.cfg, &workload, start, &mut self.dram, dst_base);
+        self.du_free[unit] = run.end_ns;
+        self.du_busy += run.busy_ns();
+        self.de_requests += 1;
+        self.de_makespan = self.de_makespan.max(run.end_ns);
+        Ok(DeResult { root, run, unit })
+    }
+
+    /// Aggregate report since the last meter reset.
+    pub fn report(&self) -> AccelReport {
+        let makespan = self.ser_makespan.max(self.de_makespan);
+        AccelReport {
+            ser_requests: self.ser_requests,
+            de_requests: self.de_requests,
+            ser_makespan_ns: self.ser_makespan,
+            de_makespan_ns: self.de_makespan,
+            makespan_ns: makespan,
+            su_busy_ns: self.su_busy,
+            du_busy_ns: self.du_busy,
+            dram_bytes: self.dram.total_bytes(),
+            bandwidth_util: self.dram.utilization(makespan),
+            energy_uj: energy::cereal_energy_uj(self.su_busy, self.du_busy, makespan),
+        }
+    }
+
+    /// Resets all timing/traffic meters (unit availability, DRAM bytes,
+    /// busy counters) while keeping registered classes.
+    pub fn reset_meters(&mut self) {
+        self.dram = Dram::new(self.cfg.dram);
+        self.su = (0..self.cfg.num_su).map(|_| SerializationUnit::new(&self.cfg)).collect();
+        self.du = (0..self.cfg.num_du).map(|_| DeserializationUnit::new(&self.cfg)).collect();
+        self.su_free = vec![0.0; self.cfg.num_su];
+        self.du_free = vec![0.0; self.cfg.num_du];
+        self.su_busy = 0.0;
+        self.du_busy = 0.0;
+        self.ser_requests = 0;
+        self.de_requests = 0;
+        self.ser_makespan = 0.0;
+        self.de_makespan = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdheap::builder::Init;
+    use sdheap::{isomorphic, FieldKind, GraphBuilder, ValueType};
+
+    fn list(n: usize) -> (Heap, KlassRegistry, Addr) {
+        let mut b = GraphBuilder::new(1 << 22);
+        let k = b.klass("L", vec![FieldKind::Value(ValueType::Long), FieldKind::Ref]);
+        let mut head = b.object(k, &[Init::Val(0), Init::Null]).unwrap();
+        for i in 1..n as u64 {
+            head = b.object(k, &[Init::Val(i), Init::Ref(head)]).unwrap();
+        }
+        let (heap, reg) = b.finish();
+        (heap, reg, head)
+    }
+
+    #[test]
+    fn end_to_end_roundtrip_with_timing() {
+        let (mut heap, reg, root) = list(500);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        let ser = accel.serialize(&mut heap, &reg, root).unwrap();
+        assert!(ser.run.busy_ns() > 0.0);
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 22);
+        let de = accel.deserialize(&ser.bytes, &mut dst).unwrap();
+        assert!(isomorphic(&heap, &reg, root, &dst, de.root));
+        let r = accel.report();
+        assert_eq!(r.ser_requests, 1);
+        assert_eq!(r.de_requests, 1);
+        assert!(r.energy_uj > 0.0);
+        assert!(r.dram_bytes > 0);
+    }
+
+    #[test]
+    fn requests_spread_across_units() {
+        let (mut heap, reg, root) = list(100);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        let mut units = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let r = accel.serialize(&mut heap, &reg, root).unwrap();
+            units.insert(r.unit);
+        }
+        assert_eq!(units.len(), 8, "8 requests occupy 8 distinct SUs");
+    }
+
+    #[test]
+    fn eight_units_give_near_linear_throughput() {
+        let (mut heap, reg, root) = list(2000);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        // One request...
+        accel.serialize(&mut heap, &reg, root).unwrap();
+        let t1 = accel.report().ser_makespan_ns;
+        accel.reset_meters();
+        // ...vs eight concurrent ones.
+        for _ in 0..8 {
+            accel.serialize(&mut heap, &reg, root).unwrap();
+        }
+        let t8 = accel.report().ser_makespan_ns;
+        let scaling = 8.0 * t1 / t8;
+        assert!(
+            scaling > 4.0,
+            "8 units should give ≫1 throughput scaling, got {scaling}"
+        );
+    }
+
+    #[test]
+    fn unregistered_class_rejected() {
+        let (mut heap, reg, root) = list(3);
+        let mut accel = Accelerator::paper();
+        // no register_all
+        assert!(accel.serialize(&mut heap, &reg, root).is_err());
+    }
+
+    #[test]
+    fn counter_wrap_forces_gc() {
+        let (mut heap, reg, root) = list(2);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        accel.serial_counter = u16::MAX;
+        accel.serialize(&mut heap, &reg, root).unwrap();
+        assert_eq!(accel.serial_counter, 1, "wrapped and restarted after GC");
+    }
+
+    #[test]
+    fn software_fallback_produces_identical_stream() {
+        let (mut heap, reg, root) = list(50);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        // Hardware stream, for reference.
+        let hw = accel.serialize(&mut heap, &reg, root).unwrap();
+        assert!(!hw.fell_back);
+
+        // Reserve a mid-list object for another unit at the *next*
+        // counter value, forcing the fallback.
+        let victim = heap.ref_field(root, 1).unwrap();
+        heap.set_ext_word(
+            victim,
+            sdheap::ExtWord::new()
+                .with_counter(accel.serial_counter + 1)
+                .with_reserving_unit(5),
+        );
+        let err = accel.serialize(&mut heap, &reg, root).unwrap_err();
+        assert!(matches!(err, SerError::Unsupported(_)));
+
+        heap.set_ext_word(
+            victim,
+            sdheap::ExtWord::new()
+                .with_counter(accel.serial_counter + 1)
+                .with_reserving_unit(5),
+        );
+        let sw = accel.serialize_with_fallback(&mut heap, &reg, root).unwrap();
+        assert!(sw.fell_back);
+        assert_eq!(sw.bytes, hw.bytes, "fallback stream must be bit-identical");
+        assert!(sw.run.busy_ns() > hw.run.busy_ns(), "software path is slower");
+
+        // The fallback stream deserializes on the hardware as usual.
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 22);
+        let de = accel.deserialize(&sw.bytes, &mut dst).unwrap();
+        assert!(isomorphic(&heap, &reg, root, &dst, de.root));
+    }
+
+    #[test]
+    fn fallback_not_taken_when_unreserved() {
+        let (mut heap, reg, root) = list(10);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        let r = accel.serialize_with_fallback(&mut heap, &reg, root).unwrap();
+        assert!(!r.fell_back);
+    }
+
+    #[test]
+    fn report_meters_reset() {
+        let (mut heap, reg, root) = list(10);
+        let mut accel = Accelerator::paper();
+        accel.register_all(&reg).unwrap();
+        accel.serialize(&mut heap, &reg, root).unwrap();
+        accel.reset_meters();
+        let r = accel.report();
+        assert_eq!(r.ser_requests, 0);
+        assert_eq!(r.dram_bytes, 0);
+        assert_eq!(accel.registered_classes(), 1, "classes survive reset");
+    }
+}

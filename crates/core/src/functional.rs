@@ -1,0 +1,749 @@
+//! Functional model of Cereal's serialization and deserialization
+//! (paper §IV + §V-B/§V-C data paths, minus timing).
+//!
+//! [`encode`] performs exactly what the serialization unit does:
+//!
+//! 1. the header-manager traversal — breadth-first over the object graph,
+//!    FIFO as references stream in from the object handler — assigning
+//!    each first-visited object its **relative address** (the running sum
+//!    of serialized object sizes) and recording visited-state in the
+//!    object's header extension via the serialization counter (§V-E);
+//! 2. the object handler's split of every object word into the **value
+//!    array** (mark word, class ID from the Klass Pointer Table, zeroed
+//!    extension slot, primitive fields) and the **reference array**
+//!    (relative addresses, object-packed);
+//! 3. the object metadata manager's **layout bitmaps**, object-packed.
+//!
+//! [`decode`] performs the deserialization unit's reconstruction: walk the
+//! unpacked layout bitmaps block by block, pull values and references from
+//! their decoupled streams, translate class IDs back through the Class ID
+//! Table, and write the image contiguously at the destination base.
+//!
+//! Both directions also extract the *workload descriptors* the timing
+//! models in [`crate::su`] and [`crate::du`] replay against the memory
+//! system.
+
+use sdformat::layout::LayoutCounts;
+use sdformat::pack::Packer;
+use sdformat::stream::{decode_ref, encode_ref, CerealStream};
+use sdheap::{
+    Addr, ExtWord, Heap, KlassRegistry, MarkWord, EXT_OFFSET, KLASS_OFFSET, MARK_OFFSET,
+};
+use serializers::SerError;
+use std::collections::VecDeque;
+
+use crate::tables::ClassTables;
+
+/// One header-manager traversal step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SerEvent {
+    /// First visit: the full SU pipeline runs for this object.
+    New(ObjVisit),
+    /// Re-visit of an already-serialized object: the header manager only
+    /// reads the recorded relative address from the header.
+    Revisit {
+        /// Object address (for memory-traffic accounting).
+        addr: u64,
+    },
+}
+
+/// Per-object information the SU pipeline needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjVisit {
+    /// Object base address.
+    pub addr: u64,
+    /// Type-descriptor address fetched by the object metadata manager.
+    pub meta_addr: u64,
+    /// Descriptor size in bytes.
+    pub meta_bytes: u32,
+    /// Object size in bytes (header included).
+    pub size_bytes: u32,
+    /// Bytes this object contributes to the value array.
+    pub value_bytes: u32,
+    /// Number of reference slots.
+    pub refs: u32,
+}
+
+/// Everything the SU timing model replays.
+#[derive(Clone, Debug, Default)]
+pub struct SerWorkload {
+    /// Traversal steps in header-manager order.
+    pub events: Vec<SerEvent>,
+    /// Total value-array bytes written.
+    pub value_bytes: u64,
+    /// Packed reference array bytes (payload + end map).
+    pub ref_bytes: u64,
+    /// Packed layout-bitmap bytes (payload + end map).
+    pub bitmap_bytes: u64,
+    /// Deserialized-image size in bytes.
+    pub image_bytes: u64,
+}
+
+/// Everything the DU timing model replays.
+#[derive(Clone, Debug, Default)]
+pub struct DeWorkload {
+    /// Deserialized-image size in bytes.
+    pub image_bytes: u64,
+    /// Objects reconstructed.
+    pub object_count: u64,
+    /// Value-array bytes consumed.
+    pub value_bytes: u64,
+    /// Packed reference bytes consumed (payload + end map).
+    pub ref_bytes: u64,
+    /// Reference items consumed.
+    pub ref_count: u64,
+    /// Packed bitmap bytes consumed (payload + end map).
+    pub bitmap_bytes: u64,
+    /// Per-64 B-block value/reference word counts, in image order — what
+    /// the layout manager hands the block manager.
+    pub per_block: Vec<LayoutCounts>,
+}
+
+/// Result of a functional serialization.
+#[derive(Clone, Debug)]
+pub struct SerOutcome {
+    /// The serialized stream.
+    pub stream: CerealStream,
+    /// The workload descriptor for the SU timing model.
+    pub workload: SerWorkload,
+}
+
+/// Serializes the graph rooted at `root`, updating header extensions with
+/// the serialization counter `counter` on behalf of unit `unit`.
+///
+/// # Errors
+/// * [`SerError::Unsupported`] when a shared object's header is reserved
+///   by a different unit (the paper's software-fallback case) or a class
+///   is not registered in the Klass Pointer Table.
+pub fn encode<'a>(
+    heap: &'a mut Heap,
+    reg: &'a KlassRegistry,
+    tables: &'a ClassTables,
+    counter: u16,
+    unit: u8,
+    strip_mark_words: bool,
+) -> EncodeCall<'a> {
+    EncodeCall {
+        heap,
+        reg,
+        tables,
+        counter,
+        unit,
+        strip_mark_words,
+    }
+}
+
+/// Builder-style carrier so `encode(...).run(root)` reads naturally while
+/// keeping the argument list typed.
+pub struct EncodeCall<'a> {
+    heap: &'a mut Heap,
+    reg: &'a KlassRegistry,
+    tables: &'a ClassTables,
+    counter: u16,
+    unit: u8,
+    strip_mark_words: bool,
+}
+
+impl EncodeCall<'_> {
+    /// Runs the serialization from `root`.
+    ///
+    /// # Errors
+    /// See [`encode`].
+    pub fn run(self, root: Addr) -> Result<SerOutcome, SerError> {
+        let EncodeCall {
+            heap,
+            reg,
+            tables,
+            counter,
+            unit,
+            strip_mark_words,
+        } = self;
+
+        let mut events = Vec::new();
+        let mut order: Vec<Addr> = Vec::new();
+        let mut ref_items: Vec<Option<u32>> = Vec::new();
+        let mut next_rel: u64 = 0;
+
+        // Header-manager visit: returns the relative address of `addr`,
+        // assigning one on first visit.
+        let visit = |heap: &mut Heap,
+                         addr: Addr,
+                         next_rel: &mut u64,
+                         order: &mut Vec<Addr>,
+                         events: &mut Vec<SerEvent>|
+         -> Result<u32, SerError> {
+            let ext = heap.ext_word(addr);
+            if ext.visited_in(counter) {
+                if ext.reserving_unit() != Some(unit) {
+                    return Err(SerError::Unsupported(
+                        "shared object reserved by another serialization unit",
+                    ));
+                }
+                events.push(SerEvent::Revisit { addr: addr.get() });
+                return Ok(ext.relative_addr());
+            }
+            let rel = u32::try_from(*next_rel)
+                .map_err(|_| SerError::Unsupported("object graph exceeds 4 GB image"))?;
+            let view = heap.object(reg, addr);
+            let size = view.size_bytes();
+            let refs = view.ref_offsets().len() as u32;
+            let klass = view.klass_id();
+            let meta_addr = reg.meta_addr(klass);
+            let meta_bytes = reg.get(klass).descriptor_words() as u32 * 8;
+            // Verify registration (the CAM lookup the object handler does).
+            tables.id_of(meta_addr)?;
+            // The extension word is runtime-private and never travels
+            // (paper Fig. 4 serializes a 16 B header: mark word + class
+            // ID); stripping additionally drops the mark word.
+            let value_bytes = size as u32
+                - refs * 8
+                - 8
+                - if strip_mark_words { 8 } else { 0 };
+            heap.set_ext_word(
+                addr,
+                ExtWord::new()
+                    .with_counter(counter)
+                    .with_relative_addr(rel)
+                    .with_reserving_unit(unit),
+            );
+            *next_rel += size;
+            order.push(addr);
+            events.push(SerEvent::New(ObjVisit {
+                addr: addr.get(),
+                meta_addr: meta_addr.get(),
+                meta_bytes,
+                size_bytes: size as u32,
+                value_bytes,
+                refs,
+            }));
+            Ok(rel)
+        };
+
+        if !root.is_null() {
+            let mut queue: VecDeque<Addr> = VecDeque::new();
+            visit(heap, root, &mut next_rel, &mut order, &mut events)?;
+            queue.push_back(root);
+            while let Some(obj) = queue.pop_front() {
+                let targets: Vec<Addr> = heap.object(reg, obj).references();
+                for t in targets {
+                    if t.is_null() {
+                        ref_items.push(None);
+                        continue;
+                    }
+                    let before = order.len();
+                    let rel = visit(heap, t, &mut next_rel, &mut order, &mut events)?;
+                    ref_items.push(Some(rel));
+                    if order.len() > before {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        // Object handler + reference array writer + metadata manager
+        // outputs.
+        let mut value_array = Vec::new();
+        let mut ref_packer = Packer::new();
+        let mut bitmap_packer = Packer::new();
+        for &addr in &order {
+            let view = heap.object(reg, addr);
+            let bits = view.layout_bits();
+            for (w, &is_ref) in bits.iter().enumerate() {
+                if is_ref {
+                    continue;
+                }
+                let word = match w {
+                    MARK_OFFSET => {
+                        if strip_mark_words {
+                            continue;
+                        }
+                        view.word(MARK_OFFSET)
+                    }
+                    KLASS_OFFSET => {
+                        u64::from(tables.id_of(Addr(view.word(KLASS_OFFSET)))?)
+                    }
+                    EXT_OFFSET => continue, // runtime-private, regenerated
+                    _ => view.word(w),
+                };
+                value_array.extend_from_slice(&word.to_le_bytes());
+            }
+            bitmap_packer.push_bits(&bits);
+        }
+        for &item in &ref_items {
+            ref_packer.push_value(encode_ref(item));
+        }
+
+        let stream = CerealStream {
+            total_object_bytes: next_rel as u32,
+            object_count: order.len() as u32,
+            value_array,
+            refs: ref_packer.finish(),
+            bitmaps: bitmap_packer.finish(),
+        };
+        let workload = SerWorkload {
+            events,
+            value_bytes: stream.value_array.len() as u64,
+            ref_bytes: stream.refs.total_bytes() as u64,
+            bitmap_bytes: stream.bitmaps.total_bytes() as u64,
+            image_bytes: next_rel,
+        };
+        Ok(SerOutcome { stream, workload })
+    }
+}
+
+/// Software-fallback serialization (paper §V-E): when a shared object's
+/// header is reserved by another unit, the hardware cannot record
+/// relative addresses in headers, so serialization falls back to
+/// software using a **thread-local hash table** for visited tracking —
+/// no header extensions are read or written.
+///
+/// Produces a bit-identical stream to the hardware path and narrates the
+/// CPU work into `sink` so the caller can time it on the host model.
+pub fn encode_software<'a>(
+    heap: &'a Heap,
+    reg: &'a KlassRegistry,
+    tables: &'a ClassTables,
+    strip_mark_words: bool,
+    sink: &'a mut dyn serializers::TraceSink,
+) -> SoftwareEncodeCall<'a> {
+    SoftwareEncodeCall {
+        heap,
+        reg,
+        tables,
+        strip_mark_words,
+        sink,
+    }
+}
+
+/// Carrier for [`encode_software`].
+pub struct SoftwareEncodeCall<'a> {
+    heap: &'a Heap,
+    reg: &'a KlassRegistry,
+    tables: &'a ClassTables,
+    strip_mark_words: bool,
+    sink: &'a mut dyn serializers::TraceSink,
+}
+
+impl SoftwareEncodeCall<'_> {
+    /// Runs the fallback serialization from `root`.
+    ///
+    /// # Errors
+    /// [`SerError`] for unregistered classes or over-large graphs.
+    pub fn run(self, root: Addr) -> Result<CerealStream, SerError> {
+        let SoftwareEncodeCall {
+            heap,
+            reg,
+            tables,
+            strip_mark_words,
+            sink,
+        } = self;
+        let mut tracer = serializers::Tracer::new(sink);
+        let mut rel_of: std::collections::HashMap<Addr, u32> = std::collections::HashMap::new();
+        let mut order: Vec<Addr> = Vec::new();
+        let mut ref_items: Vec<Option<u32>> = Vec::new();
+        let mut next_rel: u64 = 0;
+
+        if !root.is_null() {
+            let mut queue = VecDeque::new();
+            let visit = |heap: &Heap,
+                         addr: Addr,
+                         next_rel: &mut u64,
+                         order: &mut Vec<Addr>,
+                         rel_of: &mut std::collections::HashMap<Addr, u32>,
+                         tracer: &mut serializers::Tracer|
+             -> Result<(u32, bool), SerError> {
+                tracer.hash_lookup(); // thread-local visited table probe
+                if let Some(&rel) = rel_of.get(&addr) {
+                    return Ok((rel, false));
+                }
+                tracer.load_word_dep(addr.get());
+                tracer.load_word_dep(addr.add_words(1).get());
+                let rel = u32::try_from(*next_rel)
+                    .map_err(|_| SerError::Unsupported("object graph exceeds 4 GB image"))?;
+                let view = heap.object(reg, addr);
+                tables.id_of(reg.meta_addr(view.klass_id()))?;
+                *next_rel += view.size_bytes();
+                rel_of.insert(addr, rel);
+                order.push(addr);
+                Ok((rel, true))
+            };
+            visit(heap, root, &mut next_rel, &mut order, &mut rel_of, &mut tracer)?;
+            queue.push_back(root);
+            while let Some(obj) = queue.pop_front() {
+                for t in heap.object(reg, obj).references() {
+                    if t.is_null() {
+                        ref_items.push(None);
+                        continue;
+                    }
+                    let (rel, fresh) =
+                        visit(heap, t, &mut next_rel, &mut order, &mut rel_of, &mut tracer)?;
+                    ref_items.push(Some(rel));
+                    if fresh {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        let mut value_array = Vec::new();
+        let mut ref_packer = Packer::new();
+        let mut bitmap_packer = Packer::new();
+        for &addr in &order {
+            let view = heap.object(reg, addr);
+            let bits = view.layout_bits();
+            for (w, &is_ref) in bits.iter().enumerate() {
+                tracer.load_word(addr.add_words(w as u64).get());
+                if is_ref {
+                    continue;
+                }
+                let word = match w {
+                    MARK_OFFSET => {
+                        if strip_mark_words {
+                            continue;
+                        }
+                        view.word(MARK_OFFSET)
+                    }
+                    KLASS_OFFSET => u64::from(tables.id_of(Addr(view.word(KLASS_OFFSET)))?),
+                    EXT_OFFSET => continue,
+                    _ => view.word(w),
+                };
+                tracer.store_bytes(
+                    serializers::OUT_STREAM_BASE + value_array.len() as u64,
+                    8,
+                );
+                value_array.extend_from_slice(&word.to_le_bytes());
+            }
+            tracer.alu(bits.len() as u32); // bitmap packing
+            bitmap_packer.push_bits(&bits);
+        }
+        for &item in &ref_items {
+            tracer.alu(4); // significant-bit extraction + end-bit insert
+            ref_packer.push_value(encode_ref(item));
+        }
+
+        Ok(CerealStream {
+            total_object_bytes: next_rel as u32,
+            object_count: order.len() as u32,
+            value_array,
+            refs: ref_packer.finish(),
+            bitmaps: bitmap_packer.finish(),
+        })
+    }
+}
+
+/// Reconstructs a stream into `dst`, returning the root address and the
+/// DU workload descriptor.
+///
+/// # Errors
+/// [`SerError::Malformed`] on inconsistent streams,
+/// [`SerError::UnknownClassId`] for unregistered classes, heap errors on
+/// exhaustion.
+pub fn decode(
+    stream: &CerealStream,
+    tables: &ClassTables,
+    dst: &mut Heap,
+    strip_mark_words: bool,
+) -> Result<(Addr, DeWorkload), SerError> {
+    if stream.object_count == 0 {
+        return Ok((Addr::NULL, DeWorkload::default()));
+    }
+    let image_bytes = u64::from(stream.total_object_bytes);
+    if image_bytes % 8 != 0 {
+        return Err(SerError::Malformed("image size not word aligned"));
+    }
+    let base = dst.alloc_raw((image_bytes / 8) as usize)?;
+
+    let bitmaps = stream.bitmaps.to_items();
+    if bitmaps.len() != stream.object_count as usize {
+        return Err(SerError::Malformed("bitmap count mismatch"));
+    }
+    let values = stream.value_words();
+    let mut value_iter = values.iter().copied();
+    let mut ref_unpacker = sdformat::pack::Unpacker::new(&stream.refs);
+    let mut ref_count = 0u64;
+
+    let mut image_bits: Vec<bool> = Vec::with_capacity((image_bytes / 8) as usize);
+    let mut offset_words: u64 = 0;
+    for bits in &bitmaps {
+        let words = bits.len() as u64;
+        if (offset_words + words) * 8 > image_bytes {
+            return Err(SerError::Malformed("bitmaps overflow declared image"));
+        }
+        for (w, &is_ref) in bits.iter().enumerate() {
+            let addr = base.add_words(offset_words + w as u64);
+            let word = if is_ref {
+                let item = ref_unpacker
+                    .next_value()
+                    .ok_or(SerError::Malformed("reference array underrun"))?;
+                ref_count += 1;
+                if item > u64::from(u32::MAX) {
+                    return Err(SerError::Malformed("reference item out of range"));
+                }
+                match decode_ref(item) {
+                    None => 0,
+                    Some(rel) => {
+                        if u64::from(rel) >= image_bytes {
+                            return Err(SerError::Malformed("relative address out of image"));
+                        }
+                        base.add_bytes(u64::from(rel)).get()
+                    }
+                }
+            } else {
+                match w {
+                    EXT_OFFSET => 0, // cleared extension word, regenerated
+                    MARK_OFFSET if strip_mark_words => {
+                        // Header stripping: re-construct a fresh mark word;
+                        // the identity hash is not preserved (the overhead
+                        // the paper notes for hashcode-dependent code).
+                        MarkWord::new()
+                            .with_identity_hash((offset_words as u32).wrapping_mul(2654435761)
+                                & 0x7fff_ffff)
+                            .raw()
+                    }
+                    KLASS_OFFSET => {
+                        let id = value_iter
+                            .next()
+                            .ok_or(SerError::Malformed("value array underrun"))?;
+                        let id = u32::try_from(id)
+                            .map_err(|_| SerError::Malformed("class id too large"))?;
+                        tables.addr_of(id)?.get()
+                    }
+                    _ => value_iter
+                        .next()
+                        .ok_or(SerError::Malformed("value array underrun"))?,
+                }
+            };
+            dst.store(addr, word);
+        }
+        image_bits.extend_from_slice(bits);
+        offset_words += words;
+    }
+    if offset_words * 8 != image_bytes {
+        return Err(SerError::Malformed("bitmaps do not cover declared image"));
+    }
+    if value_iter.next().is_some() {
+        return Err(SerError::Malformed("value array overrun"));
+    }
+    dst.note_reconstructed_objects(u64::from(stream.object_count));
+
+    let workload = DeWorkload {
+        image_bytes,
+        object_count: u64::from(stream.object_count),
+        value_bytes: stream.value_array.len() as u64,
+        ref_bytes: stream.refs.total_bytes() as u64,
+        ref_count,
+        bitmap_bytes: stream.bitmaps.total_bytes() as u64,
+        per_block: LayoutCounts::per_block(&image_bits),
+    };
+    Ok((base, workload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdheap::builder::Init;
+    use sdheap::{isomorphic, isomorphic_with, FieldKind, GraphBuilder, IsoOptions, ValueType};
+
+    fn tables_for(reg: &KlassRegistry) -> ClassTables {
+        let mut t = ClassTables::new(4096);
+        t.register_all(reg).unwrap();
+        t
+    }
+
+    fn diamond() -> (Heap, KlassRegistry, Addr) {
+        let mut b = GraphBuilder::new(1 << 18);
+        let k = b.klass(
+            "N",
+            vec![FieldKind::Value(ValueType::Long), FieldKind::Ref, FieldKind::Ref],
+        );
+        let c = b.object(k, &[Init::Val(3), Init::Null, Init::Null]).unwrap();
+        let x = b.object(k, &[Init::Val(2), Init::Ref(c), Init::Null]).unwrap();
+        let a = b.object(k, &[Init::Val(1), Init::Ref(x), Init::Ref(c)]).unwrap();
+        let (heap, reg) = b.finish();
+        (heap, reg, a)
+    }
+
+    #[test]
+    fn roundtrips_with_identity_hashes() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        let (new_root, _) = decode(&out.stream, &tables, &mut dst, false).unwrap();
+        assert!(isomorphic(&heap, &reg, root, &dst, new_root));
+        assert_eq!(new_root, dst.base(), "root reconstructs at the image base");
+    }
+
+    #[test]
+    fn traversal_is_breadth_first() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        // BFS order: a, x, c → events New(a), New(x), New(c) with the
+        // revisit of c (from x) after both.
+        let kinds: Vec<bool> = out
+            .workload
+            .events
+            .iter()
+            .map(|e| matches!(e, SerEvent::New(_)))
+            .collect();
+        assert_eq!(kinds, vec![true, true, true, false]);
+        assert_eq!(out.stream.object_count, 3);
+    }
+
+    #[test]
+    fn relative_addresses_are_size_prefix_sums() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        // Each object is 48 B; BFS order a, x, c.
+        let x = heap.ref_field(root, 1).unwrap();
+        let c = heap.ref_field(root, 2).unwrap();
+        assert_eq!(heap.ext_word(root).relative_addr(), 0);
+        assert_eq!(heap.ext_word(x).relative_addr(), 48);
+        assert_eq!(heap.ext_word(c).relative_addr(), 96);
+    }
+
+    #[test]
+    fn visited_counter_makes_second_pass_cheap_to_verify() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        // A second serialization with a new counter re-traverses from
+        // scratch (old marks are stale), producing an identical stream.
+        let out2 = encode(&mut heap, &reg, &tables, 2, 0, false).run(root).unwrap();
+        assert_eq!(out2.stream.object_count, 3);
+    }
+
+    #[test]
+    fn shared_object_reserved_by_other_unit_falls_back() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let c = heap.ref_field(root, 2).unwrap();
+        // Unit 3 currently holds c's header for counter 7.
+        heap.set_ext_word(
+            c,
+            ExtWord::new().with_counter(7).with_relative_addr(0).with_reserving_unit(3),
+        );
+        let err = encode(&mut heap, &reg, &tables, 7, 0, false).run(root).unwrap_err();
+        assert!(matches!(err, SerError::Unsupported(_)));
+    }
+
+    #[test]
+    fn nulls_survive() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        let (new_root, _) = decode(&out.stream, &tables, &mut dst, false).unwrap();
+        let c = dst.ref_field(new_root, 2).unwrap();
+        assert_eq!(dst.ref_field(c, 1), None);
+        assert_eq!(dst.ref_field(c, 2), None);
+    }
+
+    #[test]
+    fn arrays_and_cycles_roundtrip() {
+        let mut b = GraphBuilder::new(1 << 18);
+        let n = b.klass("Node", vec![FieldKind::Ref]);
+        let oarr = b.array_klass("Object[]", FieldKind::Ref);
+        let darr = b.array_klass("double[]", FieldKind::Value(ValueType::Double));
+        let data = b.value_array(darr, &[1, 2, 3, 4, 5]).unwrap();
+        let x = b.object(n, &[Init::Null]).unwrap();
+        let arr = b.ref_array(oarr, &[x, data, Addr::NULL]).unwrap();
+        b.link(x, 0, arr);
+        let (mut heap, reg) = b.finish();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(arr).unwrap();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        let (new_root, wl) = decode(&out.stream, &tables, &mut dst, false).unwrap();
+        assert!(isomorphic(&heap, &reg, arr, &dst, new_root));
+        assert_eq!(wl.object_count, 3);
+        assert_eq!(wl.ref_count, 4, "3 array slots + 1 field");
+    }
+
+    #[test]
+    fn header_strip_saves_8b_per_object() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let full = encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        let stripped = encode(&mut heap, &reg, &tables, 2, 0, true).run(root).unwrap();
+        assert_eq!(
+            full.stream.value_array.len() - stripped.stream.value_array.len(),
+            3 * 8
+        );
+        // Stripped streams still reconstruct, modulo identity hashes.
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        let (new_root, _) = decode(&stripped.stream, &tables, &mut dst, true).unwrap();
+        assert!(isomorphic_with(
+            &heap,
+            &reg,
+            root,
+            &dst,
+            new_root,
+            IsoOptions {
+                check_identity_hash: false
+            }
+        ));
+    }
+
+    #[test]
+    fn null_root_is_empty_stream() {
+        let (mut heap, reg, _) = diamond();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(Addr::NULL).unwrap();
+        assert_eq!(out.stream.object_count, 0);
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 12);
+        let (root, wl) = decode(&out.stream, &tables, &mut dst, false).unwrap();
+        assert!(root.is_null());
+        assert_eq!(wl.object_count, 0);
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+
+        // Truncated value array.
+        let mut s = out.stream.clone();
+        s.value_array.truncate(s.value_array.len() - 8);
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        assert!(matches!(
+            decode(&s, &tables, &mut dst, false),
+            Err(SerError::Malformed(_))
+        ));
+
+        // Unregistered class id.
+        let empty_tables = ClassTables::new(4);
+        let mut dst2 = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        assert!(decode(&out.stream, &empty_tables, &mut dst2, false).is_err());
+
+        // Image size lies.
+        let mut s3 = out.stream.clone();
+        s3.total_object_bytes = 8;
+        let mut dst3 = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        assert!(matches!(
+            decode(&s3, &tables, &mut dst3, false),
+            Err(SerError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn workload_descriptors_account_sizes() {
+        let (mut heap, reg, root) = diamond();
+        let tables = tables_for(&reg);
+        let out = encode(&mut heap, &reg, &tables, 1, 0, false).run(root).unwrap();
+        let w = &out.workload;
+        assert_eq!(w.image_bytes, 3 * 48);
+        assert_eq!(w.value_bytes, out.stream.value_array.len() as u64);
+        // 3 objects × (mark + class ID + 1 long) = 9 value words; the
+        // extension word never travels.
+        assert_eq!(w.value_bytes, 9 * 8);
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        let (_, dw) = decode(&out.stream, &tables, &mut dst, false).unwrap();
+        assert_eq!(dw.image_bytes, w.image_bytes);
+        assert_eq!(dw.per_block.len(), (3 * 48usize).div_ceil(64));
+        let total_words: u32 = dw.per_block.iter().map(|b| b.values + b.refs).sum();
+        assert_eq!(total_words, 18);
+    }
+}

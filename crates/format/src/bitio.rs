@@ -1,0 +1,216 @@
+//! Bit-granular readers and writers.
+//!
+//! Bits are appended in stream order; within each byte, the first bit
+//! written occupies the most significant position (matching how the
+//! paper's Fig. 5 draws packed bit strings left-to-right).
+
+/// Append-only bit stream writer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0 = last byte is full/absent).
+    partial: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.partial == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Appends the `n` least-significant bits of `value`, most significant
+    /// of those first.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn push_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot push {n} bits");
+        for i in (0..n).rev() {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a slice of bits.
+    pub fn push_slice(&mut self, bits: &[bool]) {
+        for &b in bits {
+            self.push(b);
+        }
+    }
+
+    /// Zero-pads to the next byte boundary and reports how many padding
+    /// bits were added (0–7).
+    pub fn pad_to_byte(&mut self) -> u32 {
+        let pad = (8 - u32::from(self.partial)) % 8;
+        for _ in 0..pad {
+            self.push(false);
+        }
+        pad
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial as usize
+        }
+    }
+
+    /// Bytes written so far (the last byte may be partially filled).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Finishes the stream (zero-padding the final byte) and returns the
+    /// bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.pad_to_byte();
+        self.bytes
+    }
+}
+
+/// Sequential bit stream reader.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn next_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits as an integer (first bit read is most significant).
+    ///
+    /// Returns `None` if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64, "cannot read {n} bits");
+        if self.remaining() < n as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.next_bit().expect("checked remaining"));
+        }
+        Some(v)
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits left in the stream.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, false, true, true, false];
+        w.push_slice(&pattern);
+        assert_eq!(w.bit_len(), 10);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &expect in &pattern {
+            assert_eq!(r.next_bit(), Some(expect));
+        }
+        // Padding bits are zero.
+        assert_eq!(r.next_bit(), Some(false));
+    }
+
+    #[test]
+    fn msb_first_within_byte() {
+        let mut w = BitWriter::new();
+        w.push(true); // should land in bit 7
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn push_bits_and_read_bits() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bits(0x3ff, 10);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(10), Some(0x3ff));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0xff));
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.next_bit(), None);
+    }
+
+    #[test]
+    fn pad_to_byte_counts_padding() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        assert_eq!(w.pad_to_byte(), 5);
+        assert_eq!(w.pad_to_byte(), 0);
+        assert_eq!(w.bit_len(), 8);
+    }
+
+    #[test]
+    fn align_to_byte_skips() {
+        let bytes = [0b1010_0000u8, 0xab];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3);
+        r.align_to_byte();
+        assert_eq!(r.bit_pos(), 8);
+        assert_eq!(r.read_bits(8), Some(0xab));
+    }
+
+    #[test]
+    fn sixty_four_bit_values() {
+        let mut w = BitWriter::new();
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.read_bits(64), Some(0));
+    }
+}

@@ -1,0 +1,101 @@
+//! LEB128-style variable-length integers.
+//!
+//! Kryo writes lengths and small integers as varints ("optimized positive
+//! int" encoding); our Kryo baseline reproduces that, so its serialized
+//! sizes land in the right regime relative to Java S/D and Cereal
+//! (paper Table IV).
+
+/// Appends `value` to `out` as a little-endian base-128 varint and returns
+/// the number of bytes written (1–10).
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `bytes` starting at `pos`, returning the value and
+/// the new position.
+///
+/// Returns `None` on truncated input or a varint longer than 10 bytes.
+pub fn read_varint(bytes: &[u8], mut pos: usize) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(pos)?;
+        pos += 1;
+        if shift >= 64 {
+            return None; // over-long encoding
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Number of bytes `value` occupies as a varint.
+pub fn varint_len(value: u64) -> usize {
+    let bits = 64 - value.leading_zeros();
+    (bits.max(1) as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            let n = write_varint(&mut buf, v);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, varint_len(v));
+            let (decoded, pos) = read_varint(&buf, 0).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(pos, n);
+        }
+    }
+
+    #[test]
+    fn sizes_match_expectation() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn sequential_reads() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 5);
+        write_varint(&mut buf, 300);
+        write_varint(&mut buf, 0);
+        let (a, p) = read_varint(&buf, 0).unwrap();
+        let (b, p) = read_varint(&buf, p).unwrap();
+        let (c, p) = read_varint(&buf, p).unwrap();
+        assert_eq!((a, b, c), (5, 300, 0));
+        assert_eq!(p, buf.len());
+    }
+
+    #[test]
+    fn truncated_input() {
+        let buf = [0x80u8, 0x80]; // continuation bits with no terminator
+        assert_eq!(read_varint(&buf, 0), None);
+        assert_eq!(read_varint(&[], 0), None);
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        let buf = [0xffu8; 11];
+        assert_eq!(read_varint(&buf, 0), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the Cereal format primitives.
+
+use proptest::prelude::*;
+use sdformat::pack::{Packed, Packer, Unpacker};
+use sdformat::stream::{decode_ref, encode_ref, CerealStream};
+use sdformat::varint::{read_varint, write_varint};
+use sdformat::{BitReader, BitWriter};
+
+proptest! {
+    /// Any sequence of u64 values survives pack → unpack.
+    #[test]
+    fn pack_roundtrips_values(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let packed = Packed::from_values(values.iter().copied());
+        prop_assert_eq!(packed.to_values(), values);
+    }
+
+    /// Any sequence of bit strings (layout bitmaps) survives pack → unpack,
+    /// leading zeros included.
+    #[test]
+    fn pack_roundtrips_bitmaps(
+        bitmaps in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 0..100), 0..50)
+    ) {
+        let mut p = Packer::new();
+        for bm in &bitmaps {
+            p.push_bits(bm);
+        }
+        let packed = p.finish();
+        let mut u = Unpacker::new(&packed);
+        for bm in &bitmaps {
+            let item = u.next_item();
+            prop_assert_eq!(item.as_deref(), Some(bm.as_slice()));
+        }
+        prop_assert_eq!(u.next_item(), None);
+    }
+
+    /// Mixed values and bit strings unpack in order.
+    #[test]
+    fn pack_mixed_items(
+        items in proptest::collection::vec(
+            prop_oneof![
+                any::<u64>().prop_map(Err),
+                proptest::collection::vec(any::<bool>(), 0..40).prop_map(Ok),
+            ],
+            0..60)
+    ) {
+        let mut p = Packer::new();
+        for item in &items {
+            match item {
+                Err(v) => p.push_value(*v),
+                Ok(bits) => p.push_bits(bits),
+            }
+        }
+        let packed = p.finish();
+        let mut u = Unpacker::new(&packed);
+        for item in &items {
+            match item {
+                Err(v) => prop_assert_eq!(u.next_value(), Some(*v)),
+                Ok(bits) => {
+                    let item = u.next_item();
+                    prop_assert_eq!(item.as_deref(), Some(bits.as_slice()));
+                }
+            }
+        }
+    }
+
+    /// Packed size never exceeds the naive 9-bytes-per-value bound and the
+    /// end map covers exactly the payload.
+    #[test]
+    fn pack_size_bounds(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let packed = Packed::from_values(values.iter().copied());
+        prop_assert!(packed.bytes.len() <= values.len() * 9);
+        prop_assert!(packed.bytes.len() >= values.len()); // ≥ 1 byte per item
+        prop_assert_eq!(packed.end_map.len(), packed.bytes.len());
+        prop_assert_eq!(packed.end_map.item_count(), values.len());
+    }
+
+    /// Varints roundtrip.
+    #[test]
+    fn varint_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (decoded, next) = read_varint(&buf, pos).unwrap();
+            prop_assert_eq!(decoded, v);
+            pos = next;
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// Bit streams roundtrip arbitrary bit patterns.
+    #[test]
+    fn bitio_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let mut w = BitWriter::new();
+        w.push_slice(&bits);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.next_bit(), Some(b));
+        }
+    }
+
+    /// Reference encoding is a bijection between Option<u32> and its codes.
+    #[test]
+    fn ref_encoding_bijective(rel in proptest::option::of(any::<u32>())) {
+        prop_assert_eq!(decode_ref(encode_ref(rel)), rel);
+    }
+
+    /// Stream wire encoding roundtrips for arbitrary section contents.
+    #[test]
+    fn stream_wire_roundtrip(
+        words in proptest::collection::vec(any::<u64>(), 0..50),
+        refs in proptest::collection::vec(proptest::option::of(any::<u32>()), 0..50),
+        bitmaps in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 1..30), 0..20),
+    ) {
+        let mut value_array = Vec::new();
+        for w in &words {
+            value_array.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut rp = Packer::new();
+        for &r in &refs {
+            rp.push_value(encode_ref(r));
+        }
+        let mut bp = Packer::new();
+        for bm in &bitmaps {
+            bp.push_bits(bm);
+        }
+        let s = CerealStream {
+            total_object_bytes: (words.len() * 8) as u32,
+            object_count: bitmaps.len() as u32,
+            value_array,
+            refs: rp.finish(),
+            bitmaps: bp.finish(),
+        };
+        let decoded = CerealStream::from_bytes(&s.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &s);
+        // Unpacked refs survive the full wire trip.
+        let decoded_refs: Vec<_> = decoded.refs.to_items().iter()
+            .map(|bits| bits.iter().fold(0u64, |a, &b| (a << 1) | u64::from(b)))
+            .map(decode_ref)
+            .collect();
+        prop_assert_eq!(decoded_refs, refs);
+    }
+}

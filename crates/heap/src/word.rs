@@ -1,0 +1,142 @@
+//! Word and address primitives.
+//!
+//! The heap is word-addressed internally: every field slot, header word and
+//! metadata word is exactly 8 B, matching HotSpot's 8 B field alignment that
+//! the Cereal layout bitmap relies on ("one bit of the layout bitmap
+//! corresponds to an 8 B in the heap", paper §IV-A).
+
+use std::fmt;
+
+/// Size of one heap word in bytes. All object fields are word-sized.
+pub const WORD_BYTES: u64 = 8;
+
+/// An absolute byte address in the simulated address space.
+///
+/// `Addr(0)` is the null reference. Object addresses are always
+/// word-aligned; the constructors of [`crate::Heap`] guarantee this.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The null reference.
+    pub const NULL: Addr = Addr(0);
+
+    /// Returns `true` for the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte address as a raw integer.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The address `n` words past `self`.
+    ///
+    /// # Panics
+    /// Panics on address-space overflow (debug builds).
+    #[inline]
+    pub fn add_words(self, n: u64) -> Addr {
+        Addr(self.0 + n * WORD_BYTES)
+    }
+
+    /// The address `n` bytes past `self`.
+    #[inline]
+    pub fn add_bytes(self, n: u64) -> Addr {
+        Addr(self.0 + n)
+    }
+
+    /// Whole words between `self` and an earlier address `base`.
+    ///
+    /// # Panics
+    /// Panics if `base > self` or the distance is not word-aligned.
+    #[inline]
+    pub fn words_since(self, base: Addr) -> u64 {
+        let delta = self
+            .0
+            .checked_sub(base.0)
+            .expect("words_since: base is above self");
+        debug_assert_eq!(delta % WORD_BYTES, 0, "unaligned word distance");
+        delta / WORD_BYTES
+    }
+
+    /// `true` when the address is 8 B aligned.
+    #[inline]
+    pub fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_BYTES)
+    }
+
+    /// Round up to the next multiple of `align` bytes (`align` must be a
+    /// power of two).
+    #[inline]
+    pub fn align_up(self, align: u64) -> Addr {
+        debug_assert!(align.is_power_of_two());
+        Addr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Addr(null)")
+        } else {
+            write!(f, "Addr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(8).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn word_arithmetic() {
+        let a = Addr(0x1000);
+        assert_eq!(a.add_words(3), Addr(0x1018));
+        assert_eq!(a.add_bytes(4), Addr(0x1004));
+        assert_eq!(a.add_words(3).words_since(a), 3);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Addr(16).is_word_aligned());
+        assert!(!Addr(12).is_word_aligned());
+        assert_eq!(Addr(13).align_up(8), Addr(16));
+        assert_eq!(Addr(16).align_up(8), Addr(16));
+        assert_eq!(Addr(1).align_up(64), Addr(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "base is above self")]
+    fn words_since_underflow_panics() {
+        let _ = Addr(0x10).words_since(Addr(0x20));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Addr(0x20)), "0x20");
+        assert_eq!(format!("{:?}", Addr::NULL), "Addr(null)");
+        assert_eq!(format!("{:?}", Addr(0x40)), "Addr(0x40)");
+    }
+}

@@ -1,0 +1,729 @@
+//! The Java built-in serializer baseline (paper §II, Fig. 1(b)).
+//!
+//! Faithful to the structure that makes Java S/D slow and its streams
+//! large:
+//!
+//! * class and field **names are embedded as strings**, with name lengths,
+//!   field counts and per-field type signatures;
+//! * deserialization resolves types by **string lookup** and sets fields
+//!   through the `java.lang.reflect` model (a reflective call plus a
+//!   string-keyed field lookup per field — the "well-known source of
+//!   computational overhead");
+//! * nested objects are written **inline, depth-first**, with back
+//!   references (`TC_REFERENCE` + handle) preserving sharing;
+//! * primitives are written at their Java widths, big-endian.
+//!
+//! The implementation is iterative (explicit frame stack) so that
+//! million-element linked lists serialize without blowing the Rust stack,
+//! but the produced byte stream is exactly what the recursive algorithm
+//! would emit.
+
+use crate::api::{SerError, Serializer};
+use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
+use sdheap::{Addr, FieldKind, Heap, KlassId, KlassRegistry, ValueType, HEADER_WORDS};
+use std::collections::HashMap;
+
+/// Stream magic, mirroring `java.io.ObjectStreamConstants.STREAM_MAGIC`.
+const STREAM_MAGIC: u16 = 0xaced;
+/// Stream version.
+const STREAM_VERSION: u16 = 5;
+
+const TC_NULL: u8 = 0x70;
+const TC_REFERENCE: u8 = 0x71;
+const TC_CLASSDESC: u8 = 0x72;
+const TC_OBJECT: u8 = 0x73;
+const TC_ARRAY: u8 = 0x75;
+const TC_CLASSREF: u8 = 0x76;
+
+/// Byte width of a primitive in the stream.
+fn prim_width(vt: ValueType) -> u32 {
+    match vt {
+        ValueType::Long | ValueType::Double => 8,
+        ValueType::Int => 4,
+        ValueType::Char => 2,
+        ValueType::Byte | ValueType::Boolean => 1,
+    }
+}
+
+/// The Java built-in serializer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JavaSd;
+
+impl JavaSd {
+    /// A new instance.
+    pub fn new() -> Self {
+        JavaSd
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+struct SerCtx<'a> {
+    heap: &'a Heap,
+    reg: &'a KlassRegistry,
+    out: Vec<u8>,
+    /// Object address → stream handle.
+    handles: HashMap<Addr, u32>,
+    /// Class → stream handle (classes share the handle space, as in Java).
+    class_handles: HashMap<KlassId, u32>,
+    next_handle: u32,
+    tracer: Tracer<'a>,
+}
+
+enum SerFrame {
+    /// Serialize the object at this address (dispatch on null/back-ref/new).
+    Write(Addr),
+    /// Continue an instance's fields from `idx`.
+    Fields { addr: Addr, idx: usize },
+    /// Continue a reference array's elements from `idx`.
+    Elems { addr: Addr, idx: usize },
+}
+
+impl<'a> SerCtx<'a> {
+    fn out_pos(&self) -> u64 {
+        OUT_STREAM_BASE + self.out.len() as u64
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.tracer.store_bytes(self.out_pos(), bytes.len() as u32);
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.put(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_be_bytes());
+    }
+
+    /// Writes a class descriptor (or a back reference to one already
+    /// written), charging the string work it implies.
+    fn write_class_desc(&mut self, id: KlassId) {
+        self.tracer.hash_lookup();
+        if let Some(&h) = self.class_handles.get(&id) {
+            self.put_u8(TC_CLASSREF);
+            self.put_u32(h);
+            return;
+        }
+        let k = self.reg.get(id);
+        self.put_u8(TC_CLASSDESC);
+        let name = k.name().as_bytes();
+        self.tracer.alu(name.len() as u32); // string copy into the stream
+        self.put_u16(name.len() as u16);
+        self.put(name);
+        // serialVersionUID: derived from the name; a stable hash stands in.
+        let suid = name.iter().fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b.into()));
+        self.put_u64(suid);
+        self.put_u8(0x02); // SC_SERIALIZABLE flags
+        if k.is_array() {
+            self.put_u16(0);
+        } else {
+            self.put_u16(k.num_fields() as u16);
+            let fields: Vec<(char, String)> = k
+                .fields()
+                .iter()
+                .map(|f| {
+                    let sig = match f.kind {
+                        FieldKind::Value(vt) => vt.signature(),
+                        FieldKind::Ref => 'L',
+                    };
+                    (sig, f.name.clone())
+                })
+                .collect();
+            for (sig, fname) in fields {
+                self.put_u8(sig as u8);
+                let fb = fname.as_bytes();
+                self.tracer.alu(fb.len() as u32);
+                self.put_u16(fb.len() as u16);
+                self.put(fb.to_vec().as_slice());
+            }
+        }
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.class_handles.insert(id, h);
+    }
+
+    fn write_primitive(&mut self, vt: ValueType, word: u64) {
+        let w = prim_width(vt);
+        let be = word.to_be_bytes();
+        self.put(&be[(8 - w as usize)..]);
+    }
+
+    fn run(&mut self, root: Addr) {
+        let mut stack = vec![SerFrame::Write(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                SerFrame::Write(addr) => {
+                    self.tracer.call(); // writeObject invocation
+                    self.tracer.branch();
+                    if addr.is_null() {
+                        self.put_u8(TC_NULL);
+                        continue;
+                    }
+                    // Visited check against the identity hash map.
+                    self.tracer
+                        .load_word_dep(addr.get()); // mark word (identity hash)
+                    self.tracer.hash_lookup();
+                    if let Some(&h) = self.handles.get(&addr) {
+                        self.put_u8(TC_REFERENCE);
+                        self.put_u32(h);
+                        continue;
+                    }
+                    // New object: fetch its klass pointer and descriptor.
+                    self.tracer.load_word_dep(addr.add_words(1).get());
+                    let id = self.heap.klass_of(self.reg, addr);
+                    let meta = self.reg.meta_addr(id).get();
+                    self.tracer.load_word_dep(meta);
+                    let k = self.reg.get(id);
+                    if k.is_array() {
+                        self.put_u8(TC_ARRAY);
+                        self.write_class_desc(id);
+                        self.tracer
+                            .load_word_dep(addr.add_words(HEADER_WORDS as u64).get());
+                        let len = self.heap.array_len(addr);
+                        self.put_u32(len as u32);
+                        let h = self.next_handle;
+                        self.next_handle += 1;
+                        self.handles.insert(addr, h);
+                        match k.array_elem().expect("array klass") {
+                            FieldKind::Value(vt) => {
+                                for i in 0..len {
+                                    self.tracer.load_word(
+                                        addr.add_words((HEADER_WORDS + 1 + i) as u64).get(),
+                                    );
+                                    let w = self.heap.array_elem(addr, i);
+                                    self.write_primitive(vt, w);
+                                }
+                            }
+                            FieldKind::Ref => {
+                                stack.push(SerFrame::Elems { addr, idx: 0 });
+                            }
+                        }
+                    } else {
+                        self.put_u8(TC_OBJECT);
+                        self.write_class_desc(id);
+                        let h = self.next_handle;
+                        self.next_handle += 1;
+                        self.handles.insert(addr, h);
+                        stack.push(SerFrame::Fields { addr, idx: 0 });
+                    }
+                }
+                SerFrame::Fields { addr, idx } => {
+                    let k = self.reg.get(self.heap.klass_of(self.reg, addr));
+                    let fields = k.fields();
+                    let mut i = idx;
+                    while i < fields.len() {
+                        // Reflective extraction of the field value.
+                        self.tracer.reflect_call();
+                        self.tracer
+                            .str_compare(fields[i].name.len() as u32);
+                        self.tracer
+                            .load_word_dep(addr.add_words((HEADER_WORDS + i) as u64).get());
+                        let word = self.heap.field(addr, i);
+                        match fields[i].kind {
+                            FieldKind::Value(vt) => {
+                                self.write_primitive(vt, word);
+                                i += 1;
+                            }
+                            FieldKind::Ref => {
+                                stack.push(SerFrame::Fields { addr, idx: i + 1 });
+                                stack.push(SerFrame::Write(Addr(word)));
+                                break;
+                            }
+                        }
+                    }
+                }
+                SerFrame::Elems { addr, idx } => {
+                    let len = self.heap.array_len(addr);
+                    if idx < len {
+                        self.tracer
+                            .load_word(addr.add_words((HEADER_WORDS + 1 + idx) as u64).get());
+                        let word = self.heap.array_elem(addr, idx);
+                        stack.push(SerFrame::Elems { addr, idx: idx + 1 });
+                        stack.push(SerFrame::Write(Addr(word)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+struct DeCtx<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    reg: &'a KlassRegistry,
+    heap: &'a mut Heap,
+    /// Stream handle → reconstructed object.
+    handles: Vec<Addr>,
+    /// Class-handle slots interleaved in the same handle space.
+    class_handles: Vec<Option<KlassId>>,
+    tracer: Tracer<'a>,
+}
+
+/// Where to store a just-read reference.
+#[derive(Clone, Copy)]
+enum Dest {
+    Root,
+    Field(Addr, usize),
+    Elem(Addr, usize),
+}
+
+enum DeFrame {
+    Read(Dest),
+    Fields { addr: Addr, idx: usize },
+    Elems { addr: Addr, idx: usize },
+}
+
+impl<'a> DeCtx<'a> {
+    fn in_pos(&self) -> u64 {
+        IN_STREAM_BASE + self.pos as u64
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(SerError::Malformed("truncated stream"));
+        }
+        self.tracer.load_bytes(self.in_pos(), n as u32);
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, SerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16(&mut self) -> Result<u16, SerError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn get_u32(&mut self) -> Result<u32, SerError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, SerError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn read_class_desc(&mut self) -> Result<KlassId, SerError> {
+        match self.get_u8()? {
+            TC_CLASSREF => {
+                let h = self.get_u32()? as usize;
+                self.tracer.hash_lookup();
+                self.class_handles
+                    .get(h)
+                    .copied()
+                    .flatten()
+                    .ok_or(SerError::Malformed("bad class handle"))
+            }
+            TC_CLASSDESC => {
+                let len = self.get_u16()? as usize;
+                let name_bytes = self.take(len)?.to_vec();
+                let name = String::from_utf8(name_bytes)
+                    .map_err(|_| SerError::Malformed("class name not UTF-8"))?;
+                let _suid = self.get_u64()?;
+                let _flags = self.get_u8()?;
+                // Type resolution by string: the expensive step.
+                self.tracer.hash_lookup();
+                self.tracer.str_compare(len as u32);
+                let id = self
+                    .reg
+                    .lookup(&name)
+                    .ok_or_else(|| SerError::UnknownClass(name.clone()))?;
+                let nfields = self.get_u16()? as usize;
+                for _ in 0..nfields {
+                    let _sig = self.get_u8()?;
+                    let flen = self.get_u16()? as usize;
+                    let _fname = self.take(flen)?;
+                    self.tracer.str_compare(flen as u32);
+                }
+                self.handles.push(Addr::NULL);
+                self.class_handles.push(Some(id));
+                Ok(id)
+            }
+            _ => Err(SerError::Malformed("expected class descriptor")),
+        }
+    }
+
+    fn read_primitive(&mut self, vt: ValueType) -> Result<u64, SerError> {
+        let w = prim_width(vt) as usize;
+        let s = self.take(w)?;
+        let mut be = [0u8; 8];
+        be[8 - w..].copy_from_slice(s);
+        Ok(u64::from_be_bytes(be))
+    }
+
+    fn store_dest(&mut self, dest: Dest, value: Addr) -> Result<(), SerError> {
+        match dest {
+            Dest::Root => {}
+            Dest::Field(addr, i) => {
+                // Reflective set (java.lang.reflect Field.set).
+                self.tracer.reflect_call();
+                self.tracer.store_word(addr.add_words((HEADER_WORDS + i) as u64).get());
+                self.heap.set_ref(addr, i, value);
+            }
+            Dest::Elem(addr, i) => {
+                self.tracer
+                    .store_word(addr.add_words((HEADER_WORDS + 1 + i) as u64).get());
+                self.heap.set_array_elem(addr, i, value.get());
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<Addr, SerError> {
+        let mut root = Addr::NULL;
+        let mut got_root = false;
+        let mut stack = vec![DeFrame::Read(Dest::Root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                DeFrame::Read(dest) => {
+                    self.tracer.call();
+                    self.tracer.branch();
+                    let addr = match self.get_u8()? {
+                        TC_NULL => Addr::NULL,
+                        TC_REFERENCE => {
+                            let h = self.get_u32()? as usize;
+                            self.tracer.hash_lookup();
+                            *self
+                                .handles
+                                .get(h)
+                                .ok_or(SerError::Malformed("bad object handle"))?
+                        }
+                        TC_OBJECT => {
+                            let id = self.read_class_desc()?;
+                            let k = self.reg.get(id);
+                            self.tracer.alloc(k.instance_words() as u32 * 8);
+                            let addr = self.heap.alloc(self.reg, id)?;
+                            self.tracer.store_bytes(addr.get(), 24); // header init
+                            self.handles.push(addr);
+                            self.class_handles.push(None);
+                            stack.push(DeFrame::Fields { addr, idx: 0 });
+                            // Order matters: the fields frame must run before
+                            // anything the parent still has pending, and the
+                            // stack gives us exactly that.
+                            self.store_dest(dest, addr)?;
+                            if !got_root {
+                                root = addr;
+                                got_root = true;
+                            }
+                            continue;
+                        }
+                        TC_ARRAY => {
+                            let id = self.read_class_desc()?;
+                            let len = self.get_u32()? as usize;
+                            if (len as u64) >= self.heap.capacity_bytes() / 8 {
+                                return Err(SerError::Malformed("array length exceeds heap"));
+                            }
+                            let k = self.reg.get(id);
+                            self.tracer.alloc(k.array_words(len) as u32 * 8);
+                            let addr = self.heap.alloc_array(self.reg, id, len)?;
+                            self.tracer.store_bytes(addr.get(), 32); // header + length init
+                            self.handles.push(addr);
+                            self.class_handles.push(None);
+                            match k.array_elem().expect("array klass") {
+                                FieldKind::Value(vt) => {
+                                    for i in 0..len {
+                                        let w = self.read_primitive(vt)?;
+                                        self.tracer.store_word(
+                                            addr.add_words((HEADER_WORDS + 1 + i) as u64).get(),
+                                        );
+                                        self.heap.set_array_elem(addr, i, w);
+                                    }
+                                }
+                                FieldKind::Ref => {
+                                    stack.push(DeFrame::Elems { addr, idx: 0 });
+                                }
+                            }
+                            self.store_dest(dest, addr)?;
+                            if !got_root {
+                                root = addr;
+                                got_root = true;
+                            }
+                            continue;
+                        }
+                        _ => return Err(SerError::Malformed("unknown type tag")),
+                    };
+                    self.store_dest(dest, addr)?;
+                    if !got_root {
+                        root = addr;
+                        got_root = true;
+                    }
+                }
+                DeFrame::Fields { addr, idx } => {
+                    let id = self.heap.klass_of(self.reg, addr);
+                    let nfields = self.reg.get(id).num_fields();
+                    let mut i = idx;
+                    while i < nfields {
+                        let kind = self.reg.get(id).fields()[i].kind;
+                        match kind {
+                            FieldKind::Value(vt) => {
+                                let fname_len =
+                                    self.reg.get(id).fields()[i].name.len() as u32;
+                                let w = self.read_primitive(vt)?;
+                                // Reflective field set with string lookup.
+                                self.tracer.reflect_call();
+                                self.tracer.str_compare(fname_len);
+                                self.tracer
+                                    .store_word(addr.add_words((HEADER_WORDS + i) as u64).get());
+                                self.heap.set_field(addr, i, w);
+                                i += 1;
+                            }
+                            FieldKind::Ref => {
+                                stack.push(DeFrame::Fields { addr, idx: i + 1 });
+                                stack.push(DeFrame::Read(Dest::Field(addr, i)));
+                                break;
+                            }
+                        }
+                    }
+                }
+                DeFrame::Elems { addr, idx } => {
+                    let len = self.heap.array_len(addr);
+                    if idx < len {
+                        stack.push(DeFrame::Elems { addr, idx: idx + 1 });
+                        stack.push(DeFrame::Read(Dest::Elem(addr, idx)));
+                    }
+                }
+            }
+        }
+        Ok(root)
+    }
+}
+
+impl Serializer for JavaSd {
+    fn name(&self) -> &str {
+        "Java"
+    }
+
+    fn serialize(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<u8>, SerError> {
+        let mut ctx = SerCtx {
+            heap,
+            reg,
+            out: Vec::new(),
+            handles: HashMap::new(),
+            class_handles: HashMap::new(),
+            next_handle: 0,
+            tracer: Tracer::new(sink),
+        };
+        ctx.put_u16(STREAM_MAGIC);
+        ctx.put_u16(STREAM_VERSION);
+        ctx.run(root);
+        Ok(ctx.out)
+    }
+
+    fn deserialize(
+        &self,
+        bytes: &[u8],
+        reg: &KlassRegistry,
+        dst: &mut Heap,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Addr, SerError> {
+        let mut ctx = DeCtx {
+            bytes,
+            pos: 0,
+            reg,
+            heap: dst,
+            handles: Vec::new(),
+            class_handles: Vec::new(),
+            tracer: Tracer::new(sink),
+        };
+        if ctx.get_u16()? != STREAM_MAGIC {
+            return Err(SerError::Malformed("bad stream magic"));
+        }
+        if ctx.get_u16()? != STREAM_VERSION {
+            return Err(SerError::Malformed("bad stream version"));
+        }
+        ctx.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, NullSink};
+    use sdheap::builder::Init;
+    use sdheap::{isomorphic_with, GraphBuilder, IsoOptions};
+
+    fn roundtrip(heap: &mut Heap, reg: &KlassRegistry, root: Addr) -> (Heap, Addr) {
+        let ser = JavaSd::new();
+        let bytes = ser
+            .serialize(heap, reg, root, &mut NullSink)
+            .expect("serialize");
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), heap.capacity_bytes());
+        let new_root = ser
+            .deserialize(&bytes, reg, &mut dst, &mut NullSink)
+            .expect("deserialize");
+        (dst, new_root)
+    }
+
+    fn assert_iso(heap: &Heap, reg: &KlassRegistry, a: Addr, dst: &Heap, b: Addr) {
+        assert!(isomorphic_with(
+            heap,
+            reg,
+            a,
+            dst,
+            b,
+            IsoOptions {
+                check_identity_hash: false
+            }
+        ));
+    }
+
+    #[test]
+    fn roundtrips_simple_object() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass(
+            "Point",
+            vec![
+                FieldKind::Value(ValueType::Long),
+                FieldKind::Value(ValueType::Int),
+            ],
+        );
+        let o = b.object(k, &[Init::Val(123456789), Init::Val(42)]).unwrap();
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, o);
+        assert_iso(&heap, &reg, o, &dst, root);
+    }
+
+    #[test]
+    fn roundtrips_shared_and_cyclic() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass("N", vec![FieldKind::Ref, FieldKind::Ref]);
+        let x = b.object(k, &[Init::Null, Init::Null]).unwrap();
+        let y = b.object(k, &[Init::Ref(x), Init::Ref(x)]).unwrap();
+        b.link(x, 0, y); // cycle
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, y);
+        assert_iso(&heap, &reg, y, &dst, root);
+    }
+
+    #[test]
+    fn roundtrips_arrays() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let d = b.array_klass("double[]", FieldKind::Value(ValueType::Double));
+        let o = b.array_klass("Object[]", FieldKind::Ref);
+        let data = b.value_array(d, &[f64::to_bits(1.5), f64::to_bits(-2.5)]).unwrap();
+        let arr = b.ref_array(o, &[data, Addr::NULL, data]).unwrap();
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, arr);
+        assert_iso(&heap, &reg, arr, &dst, root);
+    }
+
+    #[test]
+    fn deep_list_does_not_overflow() {
+        let mut b = GraphBuilder::new(1 << 24);
+        let k = b.klass("L", vec![FieldKind::Value(ValueType::Long), FieldKind::Ref]);
+        let mut head = b.object(k, &[Init::Val(0), Init::Null]).unwrap();
+        for i in 1..50_000u64 {
+            head = b.object(k, &[Init::Val(i), Init::Ref(head)]).unwrap();
+        }
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, head);
+        assert_iso(&heap, &reg, head, &dst, root);
+    }
+
+    #[test]
+    fn stream_contains_class_and_field_names() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass(
+            "com.example.VeryDescriptiveClassName",
+            vec![FieldKind::Value(ValueType::Long)],
+        );
+        let o = b.object(k, &[Init::Val(1)]).unwrap();
+        let (mut heap, reg) = b.finish();
+        let bytes = JavaSd::new()
+            .serialize(&mut heap, &reg, o, &mut NullSink)
+            .unwrap();
+        let s = String::from_utf8_lossy(&bytes);
+        assert!(s.contains("VeryDescriptiveClassName"));
+        assert!(s.contains("f0"), "field names embedded");
+    }
+
+    #[test]
+    fn class_descriptor_written_once() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass("Node", vec![FieldKind::Ref]);
+        let a = b.object(k, &[Init::Null]).unwrap();
+        let c = b.object(k, &[Init::Ref(a)]).unwrap();
+        let (mut heap, reg) = b.finish();
+        let bytes = JavaSd::new()
+            .serialize(&mut heap, &reg, c, &mut NullSink)
+            .unwrap();
+        let hay = String::from_utf8_lossy(&bytes);
+        assert_eq!(hay.matches("Node").count(), 1, "second object uses TC_CLASSREF");
+    }
+
+    #[test]
+    fn emits_reflection_heavy_trace() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass(
+            "K",
+            vec![FieldKind::Value(ValueType::Long), FieldKind::Value(ValueType::Long)],
+        );
+        let o = b.object(k, &[Init::Val(1), Init::Val(2)]).unwrap();
+        let (mut heap, reg) = b.finish();
+        let mut counts = CountingSink::new();
+        JavaSd::new().serialize(&mut heap, &reg, o, &mut counts).unwrap();
+        assert_eq!(counts.reflect_calls, 2, "one reflective call per field");
+        assert!(counts.str_compare_bytes > 0);
+        assert!(counts.dependent_loads >= 3, "header + klass + field chase");
+    }
+
+    #[test]
+    fn null_root_roundtrips() {
+        let mut b = GraphBuilder::new(1 << 12);
+        let _ = b.klass("K", vec![]);
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, Addr::NULL);
+        assert!(root.is_null());
+        assert_eq!(dst.object_count(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let reg = KlassRegistry::new();
+        let mut dst = Heap::new(1 << 12);
+        let err = JavaSd::new()
+            .deserialize(&[1, 2, 3], &reg, &mut dst, &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, SerError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass("Known", vec![]);
+        let o = b.object(k, &[]).unwrap();
+        let (mut heap, reg) = b.finish();
+        let bytes = JavaSd::new()
+            .serialize(&mut heap, &reg, o, &mut NullSink)
+            .unwrap();
+        let other_reg = KlassRegistry::new(); // class not registered here
+        let mut dst = Heap::new(1 << 12);
+        let err = JavaSd::new()
+            .deserialize(&bytes, &other_reg, &mut dst, &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, SerError::UnknownClass(_)));
+    }
+}

@@ -1,0 +1,531 @@
+//! A JSON-style text serializer — the JSBS "text" class, mechanistically.
+//!
+//! Models the gson/jackson family: objects become `{...}` documents with
+//! **field names spelled out as text**, numbers printed in decimal, and
+//! object identity preserved through `@id`/`@r` keys (the `$id`/`$ref`
+//! convention text serializers use when reference support is enabled).
+//! Serialization is string formatting; deserialization is character-level
+//! parsing — both heavy on per-byte ALU work and branches, which is
+//! exactly why the text class sits at the slow end of Fig. 12.
+//!
+//! Wire shape (whitespace-free):
+//!
+//! ```text
+//! {"@c":"Node","@id":0,"f0":123,"f1":{"@r":0},"f2":null}
+//! {"@c":"double[]","@id":1,"e":[1.5,-2.0]}
+//! ```
+
+use crate::api::{SerError, Serializer};
+use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
+use sdheap::{Addr, FieldKind, Heap, KlassRegistry, ValueType, HEADER_WORDS};
+use std::collections::HashMap;
+
+/// The JSON-like text serializer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonLike;
+
+impl JsonLike {
+    /// A new instance.
+    pub fn new() -> Self {
+        JsonLike
+    }
+}
+
+/// Prints a primitive per its Java type.
+fn fmt_value(vt: ValueType, word: u64) -> String {
+    match vt {
+        ValueType::Double => format!("{:?}", f64::from_bits(word)),
+        ValueType::Boolean => (word != 0).to_string(),
+        _ => word.to_string(),
+    }
+}
+
+fn parse_value(vt: ValueType, text: &str) -> Result<u64, SerError> {
+    match vt {
+        ValueType::Double => text
+            .parse::<f64>()
+            .map(f64::to_bits)
+            .map_err(|_| SerError::Malformed("bad double literal")),
+        ValueType::Boolean => match text {
+            "true" => Ok(1),
+            "false" => Ok(0),
+            _ => Err(SerError::Malformed("bad boolean literal")),
+        },
+        _ => text
+            .parse::<u64>()
+            .map_err(|_| SerError::Malformed("bad integer literal")),
+    }
+}
+
+struct SerCtx<'a> {
+    heap: &'a Heap,
+    reg: &'a KlassRegistry,
+    out: String,
+    ids: HashMap<Addr, usize>,
+    tracer: Tracer<'a>,
+}
+
+impl SerCtx<'_> {
+    fn emit(&mut self, s: &str) {
+        self.tracer
+            .store_bytes(OUT_STREAM_BASE + self.out.len() as u64, s.len() as u32);
+        self.tracer.alu(s.len() as u32); // text formatting, byte by byte
+        self.out.push_str(s);
+    }
+
+    fn write_obj(&mut self, root: Addr) {
+        // Iterative with an explicit frame stack (deep lists must work).
+        enum Frame {
+            Open(Addr),
+            Fields { addr: Addr, idx: usize },
+            Elems { addr: Addr, idx: usize },
+            Text(&'static str),
+        }
+        let mut stack = vec![Frame::Open(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Text(s) => self.emit(s),
+                Frame::Open(addr) => {
+                    self.tracer.call();
+                    self.tracer.branch();
+                    if addr.is_null() {
+                        self.emit("null");
+                        continue;
+                    }
+                    self.tracer.hash_lookup();
+                    if let Some(&id) = self.ids.get(&addr) {
+                        self.emit(&format!("{{\"@r\":{id}}}"));
+                        continue;
+                    }
+                    let id = self.ids.len();
+                    self.ids.insert(addr, id);
+                    self.tracer.load_word_dep(addr.add_words(1).get());
+                    let kid = self.heap.klass_of(self.reg, addr);
+                    let k = self.reg.get(kid);
+                    self.emit(&format!("{{\"@c\":\"{}\",\"@id\":{id}", k.name()));
+                    if k.is_array() {
+                        self.emit(",\"e\":[");
+                        stack.push(Frame::Text("]}"));
+                        stack.push(Frame::Elems { addr, idx: 0 });
+                    } else {
+                        stack.push(Frame::Text("}"));
+                        stack.push(Frame::Fields { addr, idx: 0 });
+                    }
+                }
+                Frame::Fields { addr, idx } => {
+                    let kid = self.heap.klass_of(self.reg, addr);
+                    let fields = self.reg.get(kid).fields();
+                    if idx >= fields.len() {
+                        continue;
+                    }
+                    let f = &fields[idx];
+                    self.tracer.call(); // accessor
+                    self.tracer
+                        .load_word_dep(addr.add_words((HEADER_WORDS + idx) as u64).get());
+                    let word = self.heap.field(addr, idx);
+                    self.emit(&format!(",\"{}\":", f.name));
+                    stack.push(Frame::Fields { addr, idx: idx + 1 });
+                    match f.kind {
+                        FieldKind::Value(vt) => {
+                            let text = fmt_value(vt, word);
+                            self.emit(&text);
+                        }
+                        FieldKind::Ref => stack.push(Frame::Open(Addr(word))),
+                    }
+                }
+                Frame::Elems { addr, idx } => {
+                    let len = self.heap.array_len(addr);
+                    if idx >= len {
+                        continue;
+                    }
+                    if idx > 0 {
+                        self.emit(",");
+                    }
+                    self.tracer
+                        .load_word(addr.add_words((HEADER_WORDS + 1 + idx) as u64).get());
+                    let word = self.heap.array_elem(addr, idx);
+                    let kid = self.heap.klass_of(self.reg, addr);
+                    stack.push(Frame::Elems { addr, idx: idx + 1 });
+                    match self.reg.get(kid).array_elem().expect("array") {
+                        FieldKind::Value(vt) => {
+                            let text = fmt_value(vt, word);
+                            self.emit(&text);
+                        }
+                        FieldKind::Ref => stack.push(Frame::Open(Addr(word))),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parser recursion limit — real text parsers overflow or cap nesting;
+/// we cap and return an error (JSBS graphs are shallow).
+const MAX_DEPTH: usize = 200;
+
+struct DeCtx<'a> {
+    text: &'a [u8],
+    pos: usize,
+    depth: usize,
+    reg: &'a KlassRegistry,
+    heap: &'a mut Heap,
+    by_id: HashMap<usize, Addr>,
+    tracer: Tracer<'a>,
+}
+
+impl<'a> DeCtx<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, SerError> {
+        let c = self.peek().ok_or(SerError::Malformed("unexpected end of text"))?;
+        self.tracer.load_bytes(IN_STREAM_BASE + self.pos as u64, 1);
+        self.tracer.alu(1);
+        self.tracer.branch();
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), SerError> {
+        for &b in s.as_bytes() {
+            if self.bump()? != b {
+                return Err(SerError::Malformed("unexpected token"));
+            }
+        }
+        Ok(())
+    }
+
+    fn take_until(&mut self, stops: &[u8]) -> Result<String, SerError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if stops.contains(&c) {
+                let s = std::str::from_utf8(&self.text[start..self.pos])
+                    .map_err(|_| SerError::Malformed("not UTF-8"))?;
+                self.tracer.alu((self.pos - start) as u32);
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err(SerError::Malformed("unterminated token"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, SerError> {
+        self.expect("\"")?;
+        let s = self.take_until(b"\"")?;
+        self.expect("\"")?;
+        self.tracer.str_compare(s.len() as u32);
+        Ok(s)
+    }
+
+    /// Parses one value: an object, a back reference, or `null`.
+    fn parse_ref(&mut self) -> Result<Addr, SerError> {
+        self.tracer.call();
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(SerError::Malformed("nesting too deep"));
+        }
+        let out = match self.peek() {
+            Some(b'n') => {
+                self.expect("null")?;
+                Ok(Addr::NULL)
+            }
+            Some(b'{') => self.parse_object(),
+            _ => Err(SerError::Malformed("expected object or null")),
+        };
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_object(&mut self) -> Result<Addr, SerError> {
+        self.expect("{")?;
+        let key = self.parse_string()?;
+        if key == "@r" {
+            self.expect(":")?;
+            let id: usize = self
+                .take_until(b"}")?
+                .parse()
+                .map_err(|_| SerError::Malformed("bad @r id"))?;
+            self.expect("}")?;
+            self.tracer.hash_lookup();
+            return self.by_id.get(&id).copied().ok_or(SerError::Malformed("dangling @r"));
+        }
+        if key != "@c" {
+            return Err(SerError::Malformed("expected @c"));
+        }
+        self.expect(":")?;
+        let name = self.parse_string()?;
+        // Type resolution by string — the expensive text-class step.
+        self.tracer.hash_lookup();
+        self.tracer.str_compare(name.len() as u32);
+        let kid = self
+            .reg
+            .lookup(&name)
+            .ok_or(SerError::UnknownClass(name.clone()))?;
+        self.expect(",\"@id\":")?;
+        let id: usize = self
+            .take_until(b",}")?
+            .parse()
+            .map_err(|_| SerError::Malformed("bad @id"))?;
+
+        let k = self.reg.get(kid);
+        if k.is_array() {
+            self.expect(",\"e\":[")?;
+            // Two-phase: collect element texts / sub-objects.
+            let elem = k.array_elem().expect("array");
+            let mut values: Vec<u64> = Vec::new();
+            // Reserve the object AFTER parsing the element list head: we
+            // need the length first for allocation, so buffer elements.
+            // (References may recurse and allocate first — that is fine.)
+            let mut first = true;
+            loop {
+                if self.peek() == Some(b']') {
+                    self.bump()?;
+                    break;
+                }
+                if !first {
+                    self.expect(",")?;
+                }
+                first = false;
+                match elem {
+                    FieldKind::Value(vt) => {
+                        let text = self.take_until(b",]")?;
+                        values.push(parse_value(vt, &text)?);
+                    }
+                    FieldKind::Ref => {
+                        let a = self.parse_ref()?;
+                        values.push(a.get());
+                    }
+                }
+            }
+            self.expect("}")?;
+            self.tracer.alloc((k.array_words(values.len()) * 8) as u32);
+            let addr = self.heap.alloc_array(self.reg, kid, values.len())?;
+            for (i, v) in values.iter().enumerate() {
+                self.tracer
+                    .store_word(addr.add_words((HEADER_WORDS + 1 + i) as u64).get());
+                self.heap.set_array_elem(addr, i, *v);
+            }
+            self.by_id.insert(id, addr);
+            // NOTE: cyclic references *through arrays back to this array*
+            // cannot resolve in this text format (as in real JSON libs,
+            // which reject such cycles); graphs in JSBS are trees + DAGs.
+            Ok(addr)
+        } else {
+            self.tracer.alloc((k.instance_words() * 8) as u32);
+            let addr = self.heap.alloc(self.reg, kid)?;
+            self.by_id.insert(id, addr);
+            let nfields = k.num_fields();
+            for _ in 0..nfields {
+                self.expect(",")?;
+                let fname = self.parse_string()?;
+                // Field resolution by name.
+                self.tracer.str_compare(fname.len() as u32);
+                let f = self
+                    .reg
+                    .get(kid)
+                    .fields()
+                    .iter()
+                    .position(|f| f.name == fname)
+                    .ok_or(SerError::Malformed("unknown field"))?;
+                self.expect(":")?;
+                let kind = self.reg.get(kid).fields()[f].kind;
+                let word = match kind {
+                    FieldKind::Value(vt) => {
+                        let text = self.take_until(b",}")?;
+                        parse_value(vt, &text)?
+                    }
+                    FieldKind::Ref => self.parse_ref()?.get(),
+                };
+                self.tracer
+                    .store_word(addr.add_words((HEADER_WORDS + f) as u64).get());
+                self.heap.set_field(addr, f, word);
+            }
+            self.expect("}")?;
+            Ok(addr)
+        }
+    }
+}
+
+impl Serializer for JsonLike {
+    fn name(&self) -> &str {
+        "JsonLike"
+    }
+
+    fn serialize(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<u8>, SerError> {
+        let mut ctx = SerCtx {
+            heap,
+            reg,
+            out: String::new(),
+            ids: HashMap::new(),
+            tracer: Tracer::new(sink),
+        };
+        ctx.write_obj(root);
+        Ok(ctx.out.into_bytes())
+    }
+
+    fn deserialize(
+        &self,
+        bytes: &[u8],
+        reg: &KlassRegistry,
+        dst: &mut Heap,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Addr, SerError> {
+        let mut ctx = DeCtx {
+            text: bytes,
+            pos: 0,
+            depth: 0,
+            reg,
+            heap: dst,
+            by_id: HashMap::new(),
+            tracer: Tracer::new(sink),
+        };
+        let root = ctx.parse_ref()?;
+        Ok(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, NullSink};
+    use sdheap::builder::Init;
+    use sdheap::{isomorphic_with, GraphBuilder, IsoOptions};
+
+    fn dag() -> (Heap, KlassRegistry, Addr) {
+        let mut b = GraphBuilder::new(1 << 18);
+        let k = b.klass(
+            "N",
+            vec![
+                FieldKind::Value(ValueType::Long),
+                FieldKind::Value(ValueType::Double),
+                FieldKind::Ref,
+                FieldKind::Ref,
+            ],
+        );
+        let d = b.array_klass("double[]", FieldKind::Value(ValueType::Double));
+        let shared = b
+            .value_array(d, &[f64::to_bits(1.5), f64::to_bits(-2.25)])
+            .unwrap();
+        let x = b
+            .object(k, &[Init::Val(7), Init::Val(f64::to_bits(0.5)), Init::Ref(shared), Init::Null])
+            .unwrap();
+        let root = b
+            .object(k, &[Init::Val(1), Init::Val(f64::to_bits(3.0)), Init::Ref(x), Init::Ref(shared)])
+            .unwrap();
+        let (heap, reg) = b.finish();
+        (heap, reg, root)
+    }
+
+    #[test]
+    fn roundtrips_dags_with_sharing() {
+        let (mut heap, reg, root) = dag();
+        let ser = JsonLike::new();
+        let bytes = ser.serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        let new_root = ser.deserialize(&bytes, &reg, &mut dst, &mut NullSink).unwrap();
+        assert!(isomorphic_with(
+            &heap,
+            &reg,
+            root,
+            &dst,
+            new_root,
+            IsoOptions {
+                check_identity_hash: false
+            }
+        ));
+    }
+
+    #[test]
+    fn output_is_readable_text() {
+        let (mut heap, reg, root) = dag();
+        let bytes = JsonLike::new().serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
+        let text = String::from_utf8(bytes).expect("valid UTF-8");
+        assert!(text.starts_with("{\"@c\":\"N\""));
+        assert!(text.contains("\"f1\":3.0") || text.contains("\"f1\":3"));
+        assert!(text.contains("\"@r\":"), "shared array uses a back reference");
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn text_is_larger_than_java_sd() {
+        let (mut heap, reg, root) = dag();
+        let json = JsonLike::new().serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
+        let kryo = crate::Kryo::new().serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
+        assert!(json.len() > kryo.len() * 2, "json {} vs kryo {}", json.len(), kryo.len());
+    }
+
+    #[test]
+    fn parsing_is_alu_heavy() {
+        let (mut heap, reg, root) = dag();
+        let bytes = JsonLike::new().serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
+        let mut counts = CountingSink::new();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 18);
+        JsonLike::new().deserialize(&bytes, &reg, &mut dst, &mut counts).unwrap();
+        assert!(
+            counts.alu > bytes.len() as u64 / 2,
+            "char-level parsing: {} alu for {} bytes",
+            counts.alu,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_unknown_classes() {
+        let reg = KlassRegistry::new();
+        let mut dst = Heap::new(1 << 12);
+        assert!(JsonLike::new()
+            .deserialize(b"[1,2,3]", &reg, &mut dst, &mut NullSink)
+            .is_err());
+        assert!(matches!(
+            JsonLike::new().deserialize(
+                b"{\"@c\":\"Ghost\",\"@id\":0}",
+                &reg,
+                &mut dst,
+                &mut NullSink
+            ),
+            Err(SerError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn overly_deep_text_is_rejected_not_crashed() {
+        let mut b = GraphBuilder::new(1 << 24);
+        let k = b.klass("L", vec![FieldKind::Value(ValueType::Long), FieldKind::Ref]);
+        let mut head = b.object(k, &[Init::Val(0), Init::Null]).unwrap();
+        for i in 1..5_000u64 {
+            head = b.object(k, &[Init::Val(i), Init::Ref(head)]).unwrap();
+        }
+        let (mut heap, reg) = b.finish();
+        let bytes = JsonLike::new().serialize(&mut heap, &reg, head, &mut NullSink).unwrap();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 24);
+        let err = JsonLike::new()
+            .deserialize(&bytes, &reg, &mut dst, &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, SerError::Malformed("nesting too deep")));
+    }
+
+    #[test]
+    fn deep_lists_do_not_overflow_serialization() {
+        let mut b = GraphBuilder::new(1 << 22);
+        let k = b.klass("L", vec![FieldKind::Value(ValueType::Long), FieldKind::Ref]);
+        let mut head = b.object(k, &[Init::Val(0), Init::Null]).unwrap();
+        for i in 1..20_000u64 {
+            head = b.object(k, &[Init::Val(i), Init::Ref(head)]).unwrap();
+        }
+        let (mut heap, reg) = b.finish();
+        // Serialization must not recurse (explicit stack).
+        let bytes = JsonLike::new().serialize(&mut heap, &reg, head, &mut NullSink).unwrap();
+        assert!(bytes.len() > 20_000 * 10);
+    }
+}

@@ -1,0 +1,552 @@
+//! The Kryo baseline (paper §II, Fig. 1(c)).
+//!
+//! Kryo's optimizations over Java S/D, all reproduced here:
+//!
+//! * **integer class numbering** — every manually registered class is
+//!   identified by a compact varint class ID; no strings in the stream;
+//! * varint encoding for lengths, handles and `int` fields; a 1 B
+//!   null-check/tag byte per reference;
+//! * **optimized reflection** (the ReflectAsm model): field access is a
+//!   generated accessor — a plain call — rather than a string-keyed
+//!   reflective lookup;
+//! * reference tracking via an identity map so shared objects and cycles
+//!   serialize once.
+//!
+//! Deserialization resolves class IDs by direct table index — no string
+//! matching — which is where Kryo's large deserialization speedup over
+//! Java S/D comes from (paper Fig. 10).
+
+use crate::api::{SerError, Serializer};
+use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
+use sdformat::varint::{read_varint, write_varint};
+use sdheap::{Addr, FieldKind, Heap, KlassRegistry, ValueType, HEADER_WORDS};
+use std::collections::HashMap;
+
+const TAG_NULL: u8 = 0;
+const TAG_NEW: u8 = 1;
+const TAG_REF: u8 = 2;
+
+/// The Kryo serializer baseline.
+///
+/// Requires all serialized classes to be present in the shared
+/// [`KlassRegistry`] — the registry *is* the manual type registration the
+/// real Kryo demands ("the same type registry must be used for
+/// deserialization").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Kryo;
+
+impl Kryo {
+    /// A new instance.
+    pub fn new() -> Self {
+        Kryo
+    }
+}
+
+struct SerCtx<'a> {
+    heap: &'a Heap,
+    reg: &'a KlassRegistry,
+    out: Vec<u8>,
+    handles: HashMap<Addr, u64>,
+    next_handle: u64,
+    tracer: Tracer<'a>,
+}
+
+enum SerFrame {
+    Write(Addr),
+    Fields { addr: Addr, idx: usize },
+    Elems { addr: Addr, idx: usize },
+}
+
+impl<'a> SerCtx<'a> {
+    fn out_pos(&self) -> u64 {
+        OUT_STREAM_BASE + self.out.len() as u64
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.tracer.store_bytes(self.out_pos(), bytes.len() as u32);
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn put_varint(&mut self, v: u64) {
+        let pos = self.out_pos();
+        let n = write_varint(&mut self.out, v);
+        self.tracer.store_bytes(pos, n as u32);
+        self.tracer.alu(n as u32); // shift/mask loop
+    }
+
+    fn put_primitive(&mut self, vt: ValueType, word: u64) {
+        match vt {
+            ValueType::Long | ValueType::Double => self.put(&word.to_le_bytes()),
+            ValueType::Int => self.put_varint(word & 0xffff_ffff),
+            ValueType::Char => self.put(&(word as u16).to_le_bytes()),
+            ValueType::Byte | ValueType::Boolean => self.put(&[word as u8]),
+        }
+    }
+
+    fn run(&mut self, root: Addr) {
+        let mut stack = vec![SerFrame::Write(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                SerFrame::Write(addr) => {
+                    self.tracer.call();
+                    self.tracer.branch();
+                    if addr.is_null() {
+                        self.put(&[TAG_NULL]);
+                        continue;
+                    }
+                    self.tracer.hash_lookup(); // reference resolver
+                    if let Some(&h) = self.handles.get(&addr) {
+                        self.put(&[TAG_REF]);
+                        self.put_varint(h);
+                        continue;
+                    }
+                    self.put(&[TAG_NEW]);
+                    self.handles.insert(addr, self.next_handle);
+                    self.next_handle += 1;
+                    // Class ID: one map probe on the serializer side.
+                    self.tracer.load_word_dep(addr.add_words(1).get());
+                    self.tracer.hash_lookup();
+                    let id = self.heap.klass_of(self.reg, addr);
+                    self.put_varint(u64::from(id.get()));
+                    let k = self.reg.get(id);
+                    if k.is_array() {
+                        self.tracer
+                            .load_word_dep(addr.add_words(HEADER_WORDS as u64).get());
+                        let len = self.heap.array_len(addr);
+                        self.put_varint(len as u64);
+                        match k.array_elem().expect("array klass") {
+                            FieldKind::Value(vt) => {
+                                for i in 0..len {
+                                    self.tracer.load_word(
+                                        addr.add_words((HEADER_WORDS + 1 + i) as u64).get(),
+                                    );
+                                    let w = self.heap.array_elem(addr, i);
+                                    self.put_primitive(vt, w);
+                                }
+                            }
+                            FieldKind::Ref => stack.push(SerFrame::Elems { addr, idx: 0 }),
+                        }
+                    } else {
+                        stack.push(SerFrame::Fields { addr, idx: 0 });
+                    }
+                }
+                SerFrame::Fields { addr, idx } => {
+                    let k = self.reg.get(self.heap.klass_of(self.reg, addr));
+                    let fields = k.fields();
+                    let mut i = idx;
+                    while i < fields.len() {
+                        // Generated accessor: a plain call, not reflection.
+                        self.tracer.call();
+                        self.tracer
+                            .load_word_dep(addr.add_words((HEADER_WORDS + i) as u64).get());
+                        let word = self.heap.field(addr, i);
+                        match fields[i].kind {
+                            FieldKind::Value(vt) => {
+                                self.put_primitive(vt, word);
+                                i += 1;
+                            }
+                            FieldKind::Ref => {
+                                stack.push(SerFrame::Fields { addr, idx: i + 1 });
+                                stack.push(SerFrame::Write(Addr(word)));
+                                break;
+                            }
+                        }
+                    }
+                }
+                SerFrame::Elems { addr, idx } => {
+                    let len = self.heap.array_len(addr);
+                    if idx < len {
+                        self.tracer
+                            .load_word(addr.add_words((HEADER_WORDS + 1 + idx) as u64).get());
+                        let word = self.heap.array_elem(addr, idx);
+                        stack.push(SerFrame::Elems { addr, idx: idx + 1 });
+                        stack.push(SerFrame::Write(Addr(word)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct DeCtx<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    reg: &'a KlassRegistry,
+    heap: &'a mut Heap,
+    handles: Vec<Addr>,
+    tracer: Tracer<'a>,
+}
+
+#[derive(Clone, Copy)]
+enum Dest {
+    Root,
+    Field(Addr, usize),
+    Elem(Addr, usize),
+}
+
+enum DeFrame {
+    Read(Dest),
+    Fields { addr: Addr, idx: usize },
+    Elems { addr: Addr, idx: usize },
+}
+
+impl<'a> DeCtx<'a> {
+    fn in_pos(&self) -> u64 {
+        IN_STREAM_BASE + self.pos as u64
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(SerError::Malformed("truncated stream"));
+        }
+        self.tracer.load_bytes(self.in_pos(), n as u32);
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_varint(&mut self) -> Result<u64, SerError> {
+        let (v, next) =
+            read_varint(self.bytes, self.pos).ok_or(SerError::Malformed("bad varint"))?;
+        self.tracer
+            .load_bytes(self.in_pos(), (next - self.pos) as u32);
+        self.tracer.alu((next - self.pos) as u32);
+        self.pos = next;
+        Ok(v)
+    }
+
+    fn get_primitive(&mut self, vt: ValueType) -> Result<u64, SerError> {
+        Ok(match vt {
+            ValueType::Long | ValueType::Double => {
+                u64::from_le_bytes(self.take(8)?.try_into().expect("8"))
+            }
+            ValueType::Int => self.get_varint()?,
+            ValueType::Char => u64::from(u16::from_le_bytes(
+                self.take(2)?.try_into().expect("2"),
+            )),
+            ValueType::Byte | ValueType::Boolean => u64::from(self.take(1)?[0]),
+        })
+    }
+
+    fn store_dest(&mut self, dest: Dest, value: Addr) {
+        match dest {
+            Dest::Root => {}
+            Dest::Field(addr, i) => {
+                self.tracer.call(); // generated setter
+                self.tracer
+                    .store_word(addr.add_words((HEADER_WORDS + i) as u64).get());
+                self.heap.set_ref(addr, i, value);
+            }
+            Dest::Elem(addr, i) => {
+                self.tracer
+                    .store_word(addr.add_words((HEADER_WORDS + 1 + i) as u64).get());
+                self.heap.set_array_elem(addr, i, value.get());
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<Addr, SerError> {
+        let mut root = Addr::NULL;
+        let mut got_root = false;
+        let mut stack = vec![DeFrame::Read(Dest::Root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                DeFrame::Read(dest) => {
+                    self.tracer.call();
+                    self.tracer.branch();
+                    let addr = match self.take(1)?[0] {
+                        TAG_NULL => Addr::NULL,
+                        TAG_REF => {
+                            let h = self.get_varint()? as usize;
+                            self.tracer.hash_lookup();
+                            *self
+                                .handles
+                                .get(h)
+                                .ok_or(SerError::Malformed("bad handle"))?
+                        }
+                        TAG_NEW => {
+                            let raw_id = self.get_varint()? as u32;
+                            // Class resolution: direct table index.
+                            self.tracer.alu(1);
+                            if raw_id as usize >= self.reg.len() {
+                                return Err(SerError::UnknownClassId(raw_id));
+                            }
+                            let id = sdheap::KlassId(raw_id);
+                            let k = self.reg.get(id);
+                            let addr = if k.is_array() {
+                                let len = self.get_varint()?;
+                                if len >= self.heap.capacity_bytes() / 8 {
+                                    return Err(SerError::Malformed("array length exceeds heap"));
+                                }
+                                let len = len as usize;
+                                self.tracer.alloc(k.array_words(len) as u32 * 8);
+                                let addr = self.heap.alloc_array(self.reg, id, len)?;
+                                self.tracer.store_bytes(addr.get(), 32); // header + length init
+                                match k.array_elem().expect("array klass") {
+                                    FieldKind::Value(vt) => {
+                                        for i in 0..len {
+                                            let w = self.get_primitive(vt)?;
+                                            self.tracer.store_word(
+                                                addr.add_words((HEADER_WORDS + 1 + i) as u64)
+                                                    .get(),
+                                            );
+                                            self.heap.set_array_elem(addr, i, w);
+                                        }
+                                    }
+                                    FieldKind::Ref => {
+                                        stack.push(DeFrame::Elems { addr, idx: 0 })
+                                    }
+                                }
+                                addr
+                            } else {
+                                self.tracer.alloc(k.instance_words() as u32 * 8);
+                                let addr = self.heap.alloc(self.reg, id)?;
+                                self.tracer.store_bytes(addr.get(), 24); // header init
+                                stack.push(DeFrame::Fields { addr, idx: 0 });
+                                addr
+                            };
+                            self.handles.push(addr);
+                            addr
+                        }
+                        _ => return Err(SerError::Malformed("unknown tag")),
+                    };
+                    self.store_dest(dest, addr);
+                    if !got_root {
+                        root = addr;
+                        got_root = true;
+                    }
+                }
+                DeFrame::Fields { addr, idx } => {
+                    let id = self.heap.klass_of(self.reg, addr);
+                    let nfields = self.reg.get(id).num_fields();
+                    let mut i = idx;
+                    while i < nfields {
+                        match self.reg.get(id).fields()[i].kind {
+                            FieldKind::Value(vt) => {
+                                let w = self.get_primitive(vt)?;
+                                self.tracer.call(); // generated setter
+                                self.tracer
+                                    .store_word(addr.add_words((HEADER_WORDS + i) as u64).get());
+                                self.heap.set_field(addr, i, w);
+                                i += 1;
+                            }
+                            FieldKind::Ref => {
+                                stack.push(DeFrame::Fields { addr, idx: i + 1 });
+                                stack.push(DeFrame::Read(Dest::Field(addr, i)));
+                                break;
+                            }
+                        }
+                    }
+                }
+                DeFrame::Elems { addr, idx } => {
+                    let len = self.heap.array_len(addr);
+                    if idx < len {
+                        stack.push(DeFrame::Elems { addr, idx: idx + 1 });
+                        stack.push(DeFrame::Read(Dest::Elem(addr, idx)));
+                    }
+                }
+            }
+        }
+        Ok(root)
+    }
+}
+
+impl Serializer for Kryo {
+    fn name(&self) -> &str {
+        "Kryo"
+    }
+
+    fn serialize(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<u8>, SerError> {
+        let mut ctx = SerCtx {
+            heap,
+            reg,
+            out: Vec::new(),
+            handles: HashMap::new(),
+            next_handle: 0,
+            tracer: Tracer::new(sink),
+        };
+        ctx.run(root);
+        Ok(ctx.out)
+    }
+
+    fn deserialize(
+        &self,
+        bytes: &[u8],
+        reg: &KlassRegistry,
+        dst: &mut Heap,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Addr, SerError> {
+        let mut ctx = DeCtx {
+            bytes,
+            pos: 0,
+            reg,
+            heap: dst,
+            handles: Vec::new(),
+            tracer: Tracer::new(sink),
+        };
+        ctx.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::javasd::JavaSd;
+    use crate::trace::{CountingSink, NullSink};
+    use sdheap::builder::Init;
+    use sdheap::{isomorphic_with, GraphBuilder, IsoOptions};
+
+    fn roundtrip(heap: &mut Heap, reg: &KlassRegistry, root: Addr) -> (Heap, Addr) {
+        let ser = Kryo::new();
+        let bytes = ser.serialize(heap, reg, root, &mut NullSink).unwrap();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), heap.capacity_bytes());
+        let new_root = ser.deserialize(&bytes, reg, &mut dst, &mut NullSink).unwrap();
+        (dst, new_root)
+    }
+
+    fn assert_iso(heap: &Heap, reg: &KlassRegistry, a: Addr, dst: &Heap, b: Addr) {
+        assert!(isomorphic_with(
+            heap,
+            reg,
+            a,
+            dst,
+            b,
+            IsoOptions {
+                check_identity_hash: false
+            }
+        ));
+    }
+
+    fn diamond() -> (Heap, KlassRegistry, Addr) {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass(
+            "N",
+            vec![FieldKind::Value(ValueType::Long), FieldKind::Ref, FieldKind::Ref],
+        );
+        let c = b.object(k, &[Init::Val(3), Init::Null, Init::Null]).unwrap();
+        let x = b.object(k, &[Init::Val(2), Init::Ref(c), Init::Null]).unwrap();
+        let a = b.object(k, &[Init::Val(1), Init::Ref(x), Init::Ref(c)]).unwrap();
+        let (heap, reg) = b.finish();
+        (heap, reg, a)
+    }
+
+    #[test]
+    fn roundtrips_shared_graph() {
+        let (mut heap, reg, a) = diamond();
+        let (dst, root) = roundtrip(&mut heap, &reg, a);
+        assert_iso(&heap, &reg, a, &dst, root);
+    }
+
+    #[test]
+    fn roundtrips_cycle() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass("C", vec![FieldKind::Ref]);
+        let x = b.object(k, &[Init::Null]).unwrap();
+        let y = b.object(k, &[Init::Ref(x)]).unwrap();
+        b.link(x, 0, y);
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, x);
+        assert_iso(&heap, &reg, x, &dst, root);
+    }
+
+    #[test]
+    fn roundtrips_primitive_widths() {
+        let mut b = GraphBuilder::new(1 << 16);
+        let k = b.klass(
+            "W",
+            vec![
+                FieldKind::Value(ValueType::Long),
+                FieldKind::Value(ValueType::Double),
+                FieldKind::Value(ValueType::Int),
+                FieldKind::Value(ValueType::Char),
+                FieldKind::Value(ValueType::Byte),
+                FieldKind::Value(ValueType::Boolean),
+            ],
+        );
+        let o = b
+            .object(
+                k,
+                &[
+                    Init::Val(u64::MAX),
+                    Init::Val(f64::to_bits(3.125)),
+                    Init::Val(0xffff_ffff),
+                    Init::Val(0xbeef),
+                    Init::Val(0x7f),
+                    Init::Val(1),
+                ],
+            )
+            .unwrap();
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, o);
+        assert_iso(&heap, &reg, o, &dst, root);
+    }
+
+    #[test]
+    fn roundtrips_deep_list() {
+        let mut b = GraphBuilder::new(1 << 24);
+        let k = b.klass("L", vec![FieldKind::Value(ValueType::Int), FieldKind::Ref]);
+        let mut head = b.object(k, &[Init::Val(0), Init::Null]).unwrap();
+        for i in 1..50_000u64 {
+            head = b.object(k, &[Init::Val(i & 0xffff_ffff), Init::Ref(head)]).unwrap();
+        }
+        let (mut heap, reg) = b.finish();
+        let (dst, root) = roundtrip(&mut heap, &reg, head);
+        assert_iso(&heap, &reg, head, &dst, root);
+    }
+
+    #[test]
+    fn stream_is_much_smaller_than_javasd() {
+        let (mut heap, reg, a) = diamond();
+        let kryo_bytes = Kryo::new().serialize(&mut heap, &reg, a, &mut NullSink).unwrap();
+        let java_bytes = JavaSd::new().serialize(&mut heap, &reg, a, &mut NullSink).unwrap();
+        assert!(
+            kryo_bytes.len() * 2 < java_bytes.len(),
+            "kryo {} vs java {}",
+            kryo_bytes.len(),
+            java_bytes.len()
+        );
+        // And no class-name strings anywhere.
+        assert!(!String::from_utf8_lossy(&kryo_bytes).contains('N'));
+    }
+
+    #[test]
+    fn no_reflection_in_trace() {
+        let (mut heap, reg, a) = diamond();
+        let mut ser_counts = CountingSink::new();
+        let bytes = Kryo::new().serialize(&mut heap, &reg, a, &mut ser_counts).unwrap();
+        assert_eq!(ser_counts.reflect_calls, 0);
+        assert_eq!(ser_counts.str_compare_bytes, 0);
+        let mut de_counts = CountingSink::new();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), 1 << 16);
+        Kryo::new().deserialize(&bytes, &reg, &mut dst, &mut de_counts).unwrap();
+        assert_eq!(de_counts.reflect_calls, 0);
+        assert_eq!(de_counts.str_compare_bytes, 0);
+    }
+
+    #[test]
+    fn unknown_class_id_rejected() {
+        let (mut heap, reg, a) = diamond();
+        let bytes = Kryo::new().serialize(&mut heap, &reg, a, &mut NullSink).unwrap();
+        let empty = KlassRegistry::new();
+        let mut dst = Heap::new(1 << 12);
+        let err = Kryo::new().deserialize(&bytes, &empty, &mut dst, &mut NullSink).unwrap_err();
+        assert!(matches!(err, SerError::UnknownClassId(_)));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let (mut heap, reg, a) = diamond();
+        let bytes = Kryo::new().serialize(&mut heap, &reg, a, &mut NullSink).unwrap();
+        let mut dst = Heap::new(1 << 16);
+        let err = Kryo::new()
+            .deserialize(&bytes[..bytes.len() - 3], &reg, &mut dst, &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, SerError::Malformed(_)));
+    }
+}

@@ -1,0 +1,300 @@
+//! Operation traces: the contract between functional serializers and the
+//! timing models.
+//!
+//! Every serializer in this repository is *functional* — it really
+//! produces and consumes bytes — and additionally narrates what a CPU
+//! would have to execute by emitting [`Op`]s into a [`TraceSink`]. The
+//! `sim` crate's CPU model consumes the stream to produce cycles, cache
+//! behaviour, and DRAM bandwidth (paper Fig. 3), with zero per-op storage:
+//! sinks are streaming, so multi-hundred-MB workloads trace in O(1)
+//! memory.
+//!
+//! Address-space conventions (shared with `sim::dram`):
+//! * heap objects live wherever the `sdheap::Heap` put them;
+//! * serialized output streams are written at [`OUT_STREAM_BASE`];
+//! * input streams being deserialized are read at [`IN_STREAM_BASE`].
+
+/// Base address where serializers model their output stream.
+pub const OUT_STREAM_BASE: u64 = 0x20_0000_0000;
+/// Base address where deserializers model their input stream.
+pub const IN_STREAM_BASE: u64 = 0x30_0000_0000;
+
+/// One architectural operation executed by a software serializer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A memory load. `dependent` marks loads whose address was produced
+    /// by an immediately preceding load (pointer chasing) — the CPU model
+    /// cannot overlap these, which is the core of the paper's §III
+    /// analysis.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+        /// Part of a dependent (pointer-chasing) chain.
+        dependent: bool,
+    },
+    /// A memory store.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
+    /// `count` simple ALU operations (add, shift, compare, mask).
+    Alu(u32),
+    /// A conditional branch.
+    Branch,
+    /// A plain (devirtualized) function call + return.
+    Call,
+    /// A reflective access (`java.lang.reflect`): the expensive
+    /// dictionary-backed call Java S/D performs per field.
+    ReflectCall,
+    /// A string comparison over `bytes` bytes (type-name resolution).
+    StrCompare(u32),
+    /// One hash-table probe (identity map, type registry).
+    HashLookup,
+    /// An object allocation of `bytes` bytes (TLAB-style bump + init).
+    Alloc(u32),
+}
+
+/// Streaming consumer of operation traces.
+pub trait TraceSink {
+    /// Consumes one operation.
+    fn op(&mut self, op: Op);
+}
+
+/// Discards every operation (functional-only runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn op(&mut self, _op: Op) {}
+}
+
+/// Counts operations by class — useful for tests and op-mix reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of loads.
+    pub loads: u64,
+    /// Loads flagged dependent.
+    pub dependent_loads: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Bytes stored.
+    pub store_bytes: u64,
+    /// ALU operations.
+    pub alu: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Calls.
+    pub calls: u64,
+    /// Reflective calls.
+    pub reflect_calls: u64,
+    /// String-compare bytes.
+    pub str_compare_bytes: u64,
+    /// Hash probes.
+    pub hash_lookups: u64,
+    /// Allocations.
+    pub allocs: u64,
+    /// Bytes allocated.
+    pub alloc_bytes: u64,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total operations of any class.
+    pub fn total_ops(&self) -> u64 {
+        self.loads
+            + self.stores
+            + self.alu
+            + self.branches
+            + self.calls
+            + self.reflect_calls
+            + self.hash_lookups
+            + self.allocs
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn op(&mut self, op: Op) {
+        match op {
+            Op::Load {
+                bytes, dependent, ..
+            } => {
+                self.loads += 1;
+                self.load_bytes += u64::from(bytes);
+                if dependent {
+                    self.dependent_loads += 1;
+                }
+            }
+            Op::Store { bytes, .. } => {
+                self.stores += 1;
+                self.store_bytes += u64::from(bytes);
+            }
+            Op::Alu(n) => self.alu += u64::from(n),
+            Op::Branch => self.branches += 1,
+            Op::Call => self.calls += 1,
+            Op::ReflectCall => self.reflect_calls += 1,
+            Op::StrCompare(n) => {
+                self.str_compare_bytes += u64::from(n);
+                self.hash_lookups += 0;
+            }
+            Op::HashLookup => self.hash_lookups += 1,
+            Op::Alloc(n) => {
+                self.allocs += 1;
+                self.alloc_bytes += u64::from(n);
+            }
+        }
+        if matches!(op, Op::StrCompare(_)) {
+            // String compares also count as ALU-class work for totals.
+            self.alu += 1;
+        }
+    }
+}
+
+/// Convenience wrapper giving serializers terse emission methods.
+pub struct Tracer<'a> {
+    sink: &'a mut dyn TraceSink,
+}
+
+impl<'a> Tracer<'a> {
+    /// Wraps a sink.
+    pub fn new(sink: &'a mut dyn TraceSink) -> Self {
+        Tracer { sink }
+    }
+
+    /// Emits a raw op.
+    pub fn op(&mut self, op: Op) {
+        self.sink.op(op);
+    }
+
+    /// Independent word load.
+    pub fn load_word(&mut self, addr: u64) {
+        self.sink.op(Op::Load {
+            addr,
+            bytes: 8,
+            dependent: false,
+        });
+    }
+
+    /// Dependent (pointer-chased) word load.
+    pub fn load_word_dep(&mut self, addr: u64) {
+        self.sink.op(Op::Load {
+            addr,
+            bytes: 8,
+            dependent: true,
+        });
+    }
+
+    /// Word store.
+    pub fn store_word(&mut self, addr: u64) {
+        self.sink.op(Op::Store { addr, bytes: 8 });
+    }
+
+    /// Byte-granular load.
+    pub fn load_bytes(&mut self, addr: u64, bytes: u32) {
+        self.sink.op(Op::Load {
+            addr,
+            bytes,
+            dependent: false,
+        });
+    }
+
+    /// Byte-granular store.
+    pub fn store_bytes(&mut self, addr: u64, bytes: u32) {
+        self.sink.op(Op::Store { addr, bytes });
+    }
+
+    /// `n` ALU ops.
+    pub fn alu(&mut self, n: u32) {
+        self.sink.op(Op::Alu(n));
+    }
+
+    /// One branch.
+    pub fn branch(&mut self) {
+        self.sink.op(Op::Branch);
+    }
+
+    /// One call.
+    pub fn call(&mut self) {
+        self.sink.op(Op::Call);
+    }
+
+    /// One reflective call.
+    pub fn reflect_call(&mut self) {
+        self.sink.op(Op::ReflectCall);
+    }
+
+    /// String compare of `n` bytes.
+    pub fn str_compare(&mut self, n: u32) {
+        self.sink.op(Op::StrCompare(n));
+    }
+
+    /// One hash probe.
+    pub fn hash_lookup(&mut self) {
+        self.sink.op(Op::HashLookup);
+    }
+
+    /// Allocation of `n` bytes.
+    pub fn alloc(&mut self, n: u32) {
+        self.sink.op(Op::Alloc(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_tallies() {
+        let mut c = CountingSink::new();
+        {
+            let mut t = Tracer::new(&mut c);
+            t.load_word(0x100);
+            t.load_word_dep(0x200);
+            t.store_bytes(0x300, 16);
+            t.alu(3);
+            t.branch();
+            t.call();
+            t.reflect_call();
+            t.str_compare(12);
+            t.hash_lookup();
+            t.alloc(48);
+        }
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.dependent_loads, 1);
+        assert_eq!(c.load_bytes, 16);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.store_bytes, 16);
+        assert_eq!(c.alu, 4); // 3 explicit + 1 for the StrCompare
+        assert_eq!(c.branches, 1);
+        assert_eq!(c.calls, 1);
+        assert_eq!(c.reflect_calls, 1);
+        assert_eq!(c.str_compare_bytes, 12);
+        assert_eq!(c.hash_lookups, 1);
+        assert_eq!(c.allocs, 1);
+        assert_eq!(c.alloc_bytes, 48);
+        assert!(c.total_ops() > 0);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        for _ in 0..1000 {
+            s.op(Op::Branch);
+        }
+    }
+
+    #[test]
+    fn stream_regions_are_disjoint() {
+        const _: () = assert!(OUT_STREAM_BASE > sdheap::Heap::DEFAULT_BASE);
+        const _: () = assert!(IN_STREAM_BASE > OUT_STREAM_BASE);
+    }
+}

@@ -1,0 +1,253 @@
+//! Memory Access Interface (MAI) — the accelerator's port to DRAM
+//! (paper §V-A).
+//!
+//! The MAI is Cereal's substitute for a cache hierarchy: a 64-entry
+//! associative structure tracking outstanding requests (Table I gives it
+//! 4 KB capacity at a 32 B block size). It provides:
+//!
+//! * **request coalescing** "as in conventional MSHRs": a request to a
+//!   block with an in-flight fetch rides the existing entry instead of
+//!   issuing a duplicate DRAM transaction — this is what keeps repeated
+//!   type-descriptor fetches from multiplying metadata traffic;
+//! * a bounded number of outstanding requests — when all 64 entries are
+//!   busy, a new request stalls until the earliest completes;
+//! * **reorder buffers** so requesters that need in-order data (the
+//!   object handler's reference stream) observe responses in request
+//!   order ([`ReorderBuffer`]);
+//! * **atomic read-modify-write** within the accelerator
+//!   ([`Mai::atomic_rmw`]), used for header updates without races.
+
+use crate::dram::Dram;
+
+/// MAI configuration (Table I).
+#[derive(Clone, Copy, Debug)]
+pub struct MaiConfig {
+    /// Outstanding-request entries.
+    pub entries: usize,
+    /// Tracking block size in bytes.
+    pub block_bytes: u64,
+}
+
+impl Default for MaiConfig {
+    fn default() -> Self {
+        MaiConfig {
+            entries: 64,
+            block_bytes: 32,
+        }
+    }
+}
+
+/// Aggregate MAI statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MaiStats {
+    /// Block requests seen.
+    pub requests: u64,
+    /// Requests satisfied by an in-flight entry.
+    pub coalesced: u64,
+    /// Requests that stalled for a free entry.
+    pub stalls: u64,
+    /// Atomic read-modify-writes performed.
+    pub rmws: u64,
+}
+
+/// The MAI model.
+///
+/// ```
+/// use sim::{Mai, Dram};
+/// let mut mai = Mai::default();
+/// let mut dram = Dram::default();
+/// let a = mai.read(&mut dram, 0x1000, 8, 0.0);
+/// let b = mai.read(&mut dram, 0x1008, 8, 0.0); // same 32 B block
+/// assert_eq!(a, b, "coalesced with the in-flight fetch");
+/// assert_eq!(dram.reads(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mai {
+    cfg: MaiConfig,
+    /// (block address, completion time) of in-flight reads.
+    outstanding: Vec<(u64, f64)>,
+    stats: MaiStats,
+}
+
+impl Mai {
+    /// An MAI with the given configuration.
+    pub fn new(cfg: MaiConfig) -> Self {
+        Mai {
+            cfg,
+            outstanding: Vec::with_capacity(cfg.entries),
+            stats: MaiStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MaiStats {
+        self.stats
+    }
+
+    fn prune(&mut self, now_ns: f64) {
+        self.outstanding.retain(|&(_, done)| done > now_ns);
+    }
+
+    /// Issues a read of `[addr, addr+bytes)` at `now_ns`; returns the time
+    /// all covered blocks are available. Coalesces with in-flight blocks
+    /// and stalls when the entry CAM is full.
+    pub fn read(&mut self, dram: &mut Dram, addr: u64, bytes: u64, now_ns: f64) -> f64 {
+        debug_assert!(bytes > 0);
+        let bb = self.cfg.block_bytes;
+        let first = addr / bb;
+        let last = (addr + bytes - 1) / bb;
+        let mut now = now_ns;
+        let mut done_all = now_ns;
+        for block in first..=last {
+            self.stats.requests += 1;
+            self.prune(now);
+            if let Some(&(_, done)) = self.outstanding.iter().find(|&&(b, _)| b == block) {
+                self.stats.coalesced += 1;
+                done_all = done_all.max(done);
+                continue;
+            }
+            if self.outstanding.len() >= self.cfg.entries {
+                self.stats.stalls += 1;
+                let earliest = self
+                    .outstanding
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .fold(f64::INFINITY, f64::min);
+                now = now.max(earliest);
+                self.prune(now);
+            }
+            let done = dram.read(block * bb, bb, now);
+            self.outstanding.push((block, done));
+            done_all = done_all.max(done);
+        }
+        done_all
+    }
+
+    /// Issues a write; writes are buffered (no entry held, no stall) but
+    /// consume channel bandwidth. Returns drain time.
+    pub fn write(&mut self, dram: &mut Dram, addr: u64, bytes: u64, now_ns: f64) -> f64 {
+        dram.write(addr, bytes.max(1), now_ns)
+    }
+
+    /// Atomic read-modify-write of one block: the read and the write are
+    /// serialized through the RMW buffer. Returns completion time.
+    pub fn atomic_rmw(&mut self, dram: &mut Dram, addr: u64, now_ns: f64) -> f64 {
+        self.stats.rmws += 1;
+        let read_done = self.read(dram, addr, 8, now_ns);
+        dram.write(addr, 8, read_done)
+    }
+}
+
+impl Default for Mai {
+    fn default() -> Self {
+        Mai::new(MaiConfig::default())
+    }
+}
+
+/// In-order delivery helper: memory responses arrive out of order, but
+/// some consumers (the object handler's reference stream) must observe
+/// them in request order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReorderBuffer {
+    last_delivered: f64,
+}
+
+impl ReorderBuffer {
+    /// A fresh reorder buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivers a response that completed at `done_ns`, returning the time
+    /// it is visible in order (never before an earlier request's data).
+    pub fn deliver(&mut self, done_ns: f64) -> f64 {
+        self.last_delivered = self.last_delivered.max(done_ns);
+        self.last_delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_same_block() {
+        let mut mai = Mai::default();
+        let mut dram = Dram::default();
+        let a = mai.read(&mut dram, 0x1000, 8, 0.0);
+        let b = mai.read(&mut dram, 0x1008, 8, 0.0); // same 32 B block
+        assert_eq!(a, b, "second request coalesces");
+        assert_eq!(mai.stats().coalesced, 1);
+        assert_eq!(dram.reads(), 1, "only one DRAM transaction");
+    }
+
+    #[test]
+    fn distinct_blocks_issue_separately() {
+        let mut mai = Mai::default();
+        let mut dram = Dram::default();
+        mai.read(&mut dram, 0x1000, 8, 0.0);
+        mai.read(&mut dram, 0x1020, 8, 0.0);
+        assert_eq!(dram.reads(), 2);
+        assert_eq!(mai.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn spanning_request_touches_all_blocks() {
+        let mut mai = Mai::default();
+        let mut dram = Dram::default();
+        mai.read(&mut dram, 0x1000, 128, 0.0); // 4 × 32 B blocks
+        assert_eq!(dram.reads(), 4);
+        assert_eq!(mai.stats().requests, 4);
+    }
+
+    #[test]
+    fn full_cam_stalls() {
+        let mut mai = Mai::new(MaiConfig {
+            entries: 2,
+            block_bytes: 32,
+        });
+        let mut dram = Dram::default();
+        let d1 = mai.read(&mut dram, 0x0, 8, 0.0);
+        let _d2 = mai.read(&mut dram, 0x20, 8, 0.0);
+        // Third distinct block with both entries busy: must stall to ≥ the
+        // earliest completion.
+        let d3 = mai.read(&mut dram, 0x40, 8, 0.0);
+        assert!(d3 >= d1);
+        assert_eq!(mai.stats().stalls, 1);
+    }
+
+    #[test]
+    fn entries_free_after_completion() {
+        let mut mai = Mai::new(MaiConfig {
+            entries: 1,
+            block_bytes: 32,
+        });
+        let mut dram = Dram::default();
+        let d1 = mai.read(&mut dram, 0x0, 8, 0.0);
+        // Issue after the first completed: no stall.
+        mai.read(&mut dram, 0x20, 8, d1 + 1.0);
+        assert_eq!(mai.stats().stalls, 0);
+    }
+
+    #[test]
+    fn rmw_serializes_read_then_write() {
+        let mut mai = Mai::default();
+        let mut dram = Dram::default();
+        let done = mai.atomic_rmw(&mut dram, 0x100, 0.0);
+        // Must exceed a single read's completion (write after read).
+        let mut dram2 = Dram::default();
+        let mut mai2 = Mai::default();
+        let read_only = mai2.read(&mut dram2, 0x100, 8, 0.0);
+        assert!(done > read_only);
+        assert_eq!(mai.stats().rmws, 1);
+    }
+
+    #[test]
+    fn reorder_buffer_enforces_order() {
+        let mut rob = ReorderBuffer::new();
+        assert_eq!(rob.deliver(100.0), 100.0);
+        // A later request that completed earlier is held back.
+        assert_eq!(rob.deliver(60.0), 100.0);
+        assert_eq!(rob.deliver(140.0), 140.0);
+    }
+}

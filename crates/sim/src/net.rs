@@ -1,0 +1,160 @@
+//! Network link model for inter-node transfers.
+//!
+//! S/D exists to feed the network (paper §I: shuffles, RPC). This model
+//! provides the missing third stage for end-to-end shuffle experiments:
+//! a full-duplex point-to-point link with finite bandwidth and a
+//! per-message latency, using the same order-insensitive time-bucket
+//! ledger as [`crate::dram`] so senders simulated sequentially overlap
+//! correctly.
+
+/// Link configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Bandwidth in bytes per nanosecond (10 GbE ≈ 1.25 B/ns).
+    pub bytes_per_ns: f64,
+    /// One-way message latency in nanoseconds (NIC + switch + stack).
+    pub latency_ns: f64,
+}
+
+impl LinkConfig {
+    /// 10 Gb Ethernet with a ~10 µs one-way latency.
+    pub fn ten_gbe() -> Self {
+        LinkConfig {
+            bytes_per_ns: 1.25,
+            latency_ns: 10_000.0,
+        }
+    }
+
+    /// 40 Gb Ethernet.
+    pub fn forty_gbe() -> Self {
+        LinkConfig {
+            bytes_per_ns: 5.0,
+            latency_ns: 8_000.0,
+        }
+    }
+
+    /// 100 Gb Ethernet.
+    pub fn hundred_gbe() -> Self {
+        LinkConfig {
+            bytes_per_ns: 12.5,
+            latency_ns: 6_000.0,
+        }
+    }
+}
+
+/// Bucket granularity for the capacity ledger (coarser than DRAM's: the
+/// latencies are µs-scale).
+const BUCKET_NS: f64 = 1000.0;
+
+/// A point-to-point link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    ledger: std::collections::HashMap<u64, f64>,
+    total_bytes: u64,
+    messages: u64,
+}
+
+impl Link {
+    /// A link with the given configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        Link {
+            cfg,
+            ledger: std::collections::HashMap::new(),
+            total_bytes: 0,
+            messages: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.cfg
+    }
+
+    /// Transmits `bytes` starting at `now_ns`; returns the arrival time
+    /// of the last byte at the receiver.
+    pub fn send(&mut self, bytes: u64, now_ns: f64) -> f64 {
+        debug_assert!(bytes > 0);
+        let cap = BUCKET_NS * self.cfg.bytes_per_ns;
+        let mut bucket = (now_ns.max(0.0) / BUCKET_NS) as u64;
+        let mut left = bytes as f64;
+        let finish;
+        loop {
+            let used = self.ledger.entry(bucket).or_insert(0.0);
+            let free = cap - *used;
+            if free >= left {
+                *used += left;
+                finish = bucket as f64 * BUCKET_NS + *used / self.cfg.bytes_per_ns;
+                break;
+            }
+            left -= free;
+            *used = cap;
+            bucket += 1;
+        }
+        self.total_bytes += bytes;
+        self.messages += 1;
+        let service = bytes as f64 / self.cfg.bytes_per_ns;
+        finish.max(now_ns + service) + self.cfg.latency_ns
+    }
+
+    /// Bytes transmitted.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Messages transmitted.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Fraction of link bandwidth used over `elapsed_ns`.
+    pub fn utilization(&self, elapsed_ns: f64) -> f64 {
+        if elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.total_bytes as f64 / elapsed_ns) / self.cfg.bytes_per_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_service_apply() {
+        let mut l = Link::new(LinkConfig::ten_gbe());
+        let done = l.send(1250, 0.0); // 1 µs of service
+        assert!(done >= 1000.0 + 10_000.0 - 1.0, "got {done}");
+    }
+
+    #[test]
+    fn bandwidth_saturates() {
+        let mut l = Link::new(LinkConfig::ten_gbe());
+        let mut last = 0.0f64;
+        // 10 MB sent as fast as possible.
+        for i in 0..100 {
+            last = last.max(l.send(100_000, i as f64));
+        }
+        let util = l.utilization(last);
+        assert!(util > 0.5, "util {util}");
+        assert!(util <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn faster_links_finish_sooner() {
+        let mut slow = Link::new(LinkConfig::ten_gbe());
+        let mut fast = Link::new(LinkConfig::hundred_gbe());
+        let a = slow.send(10 << 20, 0.0);
+        let b = fast.send(10 << 20, 0.0);
+        assert!(b < a / 4.0, "100GbE {b} vs 10GbE {a}");
+    }
+
+    #[test]
+    fn counters() {
+        let mut l = Link::new(LinkConfig::forty_gbe());
+        l.send(100, 0.0);
+        l.send(200, 50.0);
+        assert_eq!(l.total_bytes(), 300);
+        assert_eq!(l.messages(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Diagnostic: print the modeled Fig. 3 numbers (run with --nocapture).
+use sdheap::builder::Init;
+use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
+use serializers::{JavaSd, Kryo, Serializer, Skyway};
+use sim::Cpu;
+
+fn tree(depth: u32) -> (Heap, KlassRegistry, Addr) {
+    let mut b = GraphBuilder::new(1 << 26);
+    let node = b.klass("TreeNode", vec![FieldKind::Value(ValueType::Long), FieldKind::Ref, FieldKind::Ref]);
+    fn build(b: &mut GraphBuilder, node: sdheap::KlassId, depth: u32, seed: u64) -> Addr {
+        if depth == 0 { return Addr::NULL; }
+        let l = build(b, node, depth - 1, seed * 2);
+        let r = build(b, node, depth - 1, seed * 2 + 1);
+        b.object(node, &[Init::Val(seed),
+            if l.is_null() { Init::Null } else { Init::Ref(l) },
+            if r.is_null() { Init::Null } else { Init::Ref(r) }]).unwrap()
+    }
+    let root = build(&mut b, node, depth, 1);
+    let (heap, reg) = b.finish();
+    (heap, reg, root)
+}
+
+#[test]
+fn print_numbers() {
+    let (mut heap, reg, root) = tree(15);
+    let n = 32767.0;
+    for ser in [&JavaSd::new() as &dyn Serializer, &Kryo::new(), &Skyway::new()] {
+        let mut c = Cpu::host();
+        let bytes = ser.serialize(&mut heap, &reg, root, &mut c).unwrap();
+        let rs = c.report();
+        let mut d = Cpu::host();
+        let mut dst = Heap::with_base(Addr(0x2_0000_0000), heap.capacity_bytes());
+        ser.deserialize(&bytes, &reg, &mut dst, &mut d).unwrap();
+        let rd = d.report();
+        println!("{:8} ser: {:8.1}ns/obj ipc={:.2} llc_mr={:.2} bw={:.2}% | de: {:8.1}ns/obj ipc={:.2} bw={:.2}% | size={}KB",
+            ser.name(), rs.ns/n, rs.ipc, rs.llc_miss_rate, rs.bandwidth_util*100.0,
+            rd.ns/n, rd.ipc, rd.bandwidth_util*100.0, bytes.len()/1024);
+    }
+}

