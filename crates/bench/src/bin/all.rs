@@ -1,16 +1,92 @@
 //! Runs the complete evaluation — every figure and table — in one pass,
 //! reusing each suite's measurements.
+//!
+//! The eight experiment units (six microbenchmarks, JSBS, Spark) are
+//! independent: each builds its own heap and seeds its own PRNG, so they
+//! fan out across worker threads (`--jobs N`, default: available
+//! parallelism) without changing any measurement. Rendering happens only
+//! after every unit completes, in the fixed figure order, so the report
+//! is byte-identical for any job count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cereal_bench::micro_suite::MicroResult;
 use cereal_bench::{jsbs_suite, micro_suite, render, spark_suite};
+use workloads::MicroBench;
+
+/// Number of independent experiment units: 6 micro + JSBS + Spark.
+const UNITS: usize = 8;
+
+fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(UNITS);
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--jobs" && i + 1 < args.len() {
+            jobs = args[i + 1].parse().unwrap_or(jobs);
+            i += 2;
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            jobs = v.parse().unwrap_or(jobs);
+            i += 1;
+        } else {
+            eprintln!("ignoring unknown argument {:?}", args[i]);
+            i += 1;
+        }
+    }
+    jobs.clamp(1, UNITS)
+}
 
 fn main() {
     let micro_scale = micro_suite::scale_from_env();
     let spark_scale = spark_suite::scale_from_env();
-    eprintln!("running microbenchmark suite at {micro_scale:?}...");
-    let micro = micro_suite::run(micro_scale);
-    eprintln!("running JSBS suite...");
-    let jsbs = jsbs_suite::run();
-    eprintln!("running Spark application suite at {spark_scale:?}...");
-    let spark = spark_suite::run(spark_scale);
+    let jobs = jobs_from_args();
+    eprintln!(
+        "running {UNITS} experiment units on {jobs} worker thread(s) \
+         (micro {micro_scale:?}, spark {spark_scale:?})..."
+    );
+
+    let benches = MicroBench::all();
+    let micro_slots: Vec<Mutex<Option<MicroResult>>> =
+        (0..benches.len()).map(|_| Mutex::new(None)).collect();
+    let jsbs_slot = Mutex::new(None);
+    let spark_slot = Mutex::new(None);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let unit = next.fetch_add(1, Ordering::Relaxed);
+                match unit {
+                    0..=5 => {
+                        let bench = benches[unit];
+                        eprintln!("  micro: {}...", bench.name());
+                        *micro_slots[unit].lock().unwrap() =
+                            Some(micro_suite::run_one(bench, micro_scale));
+                    }
+                    6 => {
+                        eprintln!("  JSBS suite...");
+                        *jsbs_slot.lock().unwrap() = Some(jsbs_suite::run());
+                    }
+                    7 => {
+                        eprintln!("  Spark suite...");
+                        *spark_slot.lock().unwrap() = Some(spark_suite::run(spark_scale));
+                    }
+                    _ => break,
+                }
+            });
+        }
+    });
+
+    let micro: Vec<MicroResult> = micro_slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("micro unit ran"))
+        .collect();
+    let jsbs = jsbs_slot.into_inner().unwrap().expect("JSBS unit ran");
+    let spark = spark_slot.into_inner().unwrap().expect("Spark unit ran");
 
     println!("{}", render::table1());
     println!("{}", render::fig2(&spark));

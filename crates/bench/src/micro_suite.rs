@@ -26,22 +26,27 @@ pub struct MicroResult {
     pub vanilla: SdMeasure,
 }
 
-/// Runs the full suite at `scale`.
+/// Runs one microbenchmark at `scale`. Each benchmark is fully
+/// self-contained (private heap, deterministic build), so callers may
+/// fan benchmarks out across threads without changing any measurement.
+pub fn run_one(bench: MicroBench, scale: Scale) -> MicroResult {
+    let (mut heap, reg, root) = bench.build(scale);
+    let roots = repeat_root(root, REQUESTS);
+    MicroResult {
+        bench,
+        java: run_software(&serializers::JavaSd::new(), &mut heap, &reg, &roots),
+        kryo: run_software(&serializers::Kryo::new(), &mut heap, &reg, &roots),
+        skyway: run_software(&serializers::Skyway::new(), &mut heap, &reg, &roots),
+        cereal: run_cereal(CerealConfig::paper(), &mut heap, &reg, &roots),
+        vanilla: run_cereal(CerealConfig::vanilla(), &mut heap, &reg, &roots),
+    }
+}
+
+/// Runs the full suite at `scale`, sequentially, in Table II order.
 pub fn run(scale: Scale) -> Vec<MicroResult> {
     MicroBench::all()
         .iter()
-        .map(|&bench| {
-            let (mut heap, reg, root) = bench.build(scale);
-            let roots = repeat_root(root, REQUESTS);
-            MicroResult {
-                bench,
-                java: run_software(&serializers::JavaSd::new(), &mut heap, &reg, &roots),
-                kryo: run_software(&serializers::Kryo::new(), &mut heap, &reg, &roots),
-                skyway: run_software(&serializers::Skyway::new(), &mut heap, &reg, &roots),
-                cereal: run_cereal(CerealConfig::paper(), &mut heap, &reg, &roots),
-                vanilla: run_cereal(CerealConfig::vanilla(), &mut heap, &reg, &roots),
-            }
-        })
+        .map(|&bench| run_one(bench, scale))
         .collect()
 }
 

@@ -1,0 +1,44 @@
+//! Fast-forwarding the DRAM capacity-ledger walk is a pure wall-clock
+//! optimization: simulated times must be bit-identical with it on or
+//! off. Verified over all six Fig. 10 microbench configurations.
+
+use cereal::CerealConfig;
+use cereal_bench::{repeat_root, run_cereal};
+use workloads::micro::{MicroBench, Scale};
+
+#[test]
+fn micro_configs_time_identically_with_and_without_fast_forward() {
+    for mb in MicroBench::all() {
+        let (mut heap, reg, root) = mb.build(Scale::Tiny);
+        let roots = repeat_root(root, 8);
+        let fast = run_cereal(CerealConfig::paper(), &mut heap, &reg, &roots);
+        let tick = {
+            let mut cfg = CerealConfig::paper();
+            cfg.dram.fast_forward = false;
+            run_cereal(cfg, &mut heap, &reg, &roots)
+        };
+        assert_eq!(
+            fast.ser_ns.to_bits(),
+            tick.ser_ns.to_bits(),
+            "{}: ser {} vs {}",
+            mb.name(),
+            fast.ser_ns,
+            tick.ser_ns
+        );
+        assert_eq!(
+            fast.de_ns.to_bits(),
+            tick.de_ns.to_bits(),
+            "{}: de {} vs {}",
+            mb.name(),
+            fast.de_ns,
+            tick.de_ns
+        );
+        assert_eq!(fast.bytes, tick.bytes, "{}", mb.name());
+        assert_eq!(
+            fast.ser_bw_util.to_bits(),
+            tick.ser_bw_util.to_bits(),
+            "{}",
+            mb.name()
+        );
+    }
+}

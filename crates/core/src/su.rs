@@ -53,6 +53,11 @@ impl UnitRun {
 pub struct SerializationUnit {
     mai: Mai,
     tlb: Tlb,
+    /// Scratch reused across requests (per-event commit times); purely an
+    /// allocation-churn optimization, timing is unaffected.
+    scratch_commit: Vec<f64>,
+    /// Scratch reused across requests (per-event header-fetch times).
+    scratch_header_done: Vec<f64>,
 }
 
 impl SerializationUnit {
@@ -61,6 +66,8 @@ impl SerializationUnit {
         SerializationUnit {
             mai: Mai::new(cfg.mai),
             tlb: Tlb::new(cfg.tlb),
+            scratch_commit: Vec::new(),
+            scratch_header_done: Vec::new(),
         }
     }
 
@@ -81,11 +88,16 @@ impl SerializationUnit {
         let mut reads = 0u64;
         let mut writes = 0u64;
 
-        // Per-event commit times (header-manager order).
+        // Per-event commit times (header-manager order), in buffers
+        // reused across requests.
         let n = workload.events.len();
-        let mut commit = vec![start_ns; n.max(1)];
+        let mut commit = std::mem::take(&mut self.scratch_commit);
+        commit.clear();
+        commit.resize(n.max(1), start_ns);
         // Header fetch completion per event, issued with lookahead.
-        let mut header_done = vec![start_ns; n];
+        let mut header_done = std::mem::take(&mut self.scratch_header_done);
+        header_done.clear();
+        header_done.resize(n, start_ns);
         let mut rob = ReorderBuffer::new();
 
         // Output drains: value array, reference array, bitmaps. Each is a
@@ -198,6 +210,8 @@ impl SerializationUnit {
         }
 
         let end = tail.max(last_commit);
+        self.scratch_commit = commit;
+        self.scratch_header_done = header_done;
         // The authoritative byte meter is the shared DRAM model; the
         // per-request split is apportioned by transaction counts.
         let moved = dram.total_bytes() - bytes_before;

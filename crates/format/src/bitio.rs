@@ -3,13 +3,24 @@
 //! Bits are appended in stream order; within each byte, the first bit
 //! written occupies the most significant position (matching how the
 //! paper's Fig. 5 draws packed bit strings left-to-right).
+//!
+//! The writer and reader operate word-at-a-time: bits accumulate in a
+//! `u64` (left-aligned, stream order = descending significance) and
+//! spill to the byte vector eight bytes at a time, so a `push_bits` of
+//! any width costs a couple of shift/mask/OR operations instead of one
+//! call per bit. The emitted byte stream is bit-identical to the
+//! original bit-by-bit implementation, which is retained in [`naive`]
+//! as the golden reference the equivalence tests and the `perf`
+//! harness compare against.
 
 /// Append-only bit stream writer.
 #[derive(Clone, Debug, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits already used in the last byte (0 = last byte is full/absent).
-    partial: u8,
+    /// Pending bits, left-aligned: the first pending bit is bit 63.
+    acc: u64,
+    /// Number of pending bits in `acc` (0..=63 between calls).
+    nbits: u32,
 }
 
 impl BitWriter {
@@ -20,14 +31,7 @@ impl BitWriter {
 
     /// Appends one bit.
     pub fn push(&mut self, bit: bool) {
-        if self.partial == 0 {
-            self.bytes.push(0);
-        }
-        if bit {
-            let last = self.bytes.last_mut().expect("just pushed");
-            *last |= 1 << (7 - self.partial);
-        }
-        self.partial = (self.partial + 1) % 8;
+        self.push_bits(u64::from(bit), 1);
     }
 
     /// Appends the `n` least-significant bits of `value`, most significant
@@ -37,40 +41,58 @@ impl BitWriter {
     /// Panics if `n > 64`.
     pub fn push_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot push {n} bits");
-        for i in (0..n).rev() {
-            self.push((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        // Left-align the n payload bits (also discards anything above).
+        let vtop = value << (64 - n);
+        if self.nbits + n < 64 {
+            self.acc |= vtop >> self.nbits;
+            self.nbits += n;
+        } else {
+            // Fill the accumulator to exactly 64 bits, spill it, and keep
+            // the remainder.
+            let take = 64 - self.nbits;
+            self.acc |= vtop >> self.nbits;
+            self.bytes.extend_from_slice(&self.acc.to_be_bytes());
+            let rem = n - take;
+            self.nbits = rem;
+            self.acc = if rem == 0 { 0 } else { vtop << take };
         }
     }
 
-    /// Appends a slice of bits.
+    /// Appends a slice of bits, packing 64 at a time.
     pub fn push_slice(&mut self, bits: &[bool]) {
-        for &b in bits {
-            self.push(b);
+        for chunk in bits.chunks(64) {
+            let mut v = 0u64;
+            for &b in chunk {
+                v = (v << 1) | u64::from(b);
+            }
+            self.push_bits(v, chunk.len() as u32);
         }
     }
 
     /// Zero-pads to the next byte boundary and reports how many padding
-    /// bits were added (0–7).
+    /// bits were added (0–7). Pending complete bytes spill to the vector,
+    /// so this never leaves more than zero pending bits.
     pub fn pad_to_byte(&mut self) -> u32 {
-        let pad = (8 - u32::from(self.partial)) % 8;
-        for _ in 0..pad {
-            self.push(false);
-        }
+        let pad = (8 - self.nbits % 8) % 8;
+        self.nbits += pad; // padding bits are already zero in `acc`
+        let full = (self.nbits / 8) as usize;
+        self.bytes.extend_from_slice(&self.acc.to_be_bytes()[..full]);
+        self.acc = 0;
+        self.nbits = 0;
         pad
     }
 
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
-        if self.partial == 0 {
-            self.bytes.len() * 8
-        } else {
-            (self.bytes.len() - 1) * 8 + self.partial as usize
-        }
+        self.bytes.len() * 8 + self.nbits as usize
     }
 
     /// Bytes written so far (the last byte may be partially filled).
     pub fn byte_len(&self) -> usize {
-        self.bytes.len()
+        self.bytes.len() + (self.nbits as usize).div_ceil(8)
     }
 
     /// Finishes the stream (zero-padding the final byte) and returns the
@@ -113,11 +135,20 @@ impl<'a> BitReader<'a> {
         if self.remaining() < n as usize {
             return None;
         }
-        let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | u64::from(self.next_bit().expect("checked remaining"));
+        if n == 0 {
+            return Some(0);
         }
-        Some(v)
+        // A bit-offset read of ≤ 64 bits spans at most 9 bytes; fill a
+        // 16-byte window (zero-padded at the tail) and extract with two
+        // shifts.
+        let start = self.pos / 8;
+        let take = (self.bytes.len() - start).min(16);
+        let mut buf = [0u8; 16];
+        buf[..take].copy_from_slice(&self.bytes[start..start + take]);
+        let window = u128::from_be_bytes(buf);
+        let off = (self.pos % 8) as u32;
+        self.pos += n as usize;
+        Some(((window << off) >> (128 - n)) as u64)
     }
 
     /// Current bit position.
@@ -133,6 +164,117 @@ impl<'a> BitReader<'a> {
     /// Skips forward to the next byte boundary.
     pub fn align_to_byte(&mut self) {
         self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+/// The original bit-by-bit implementation, kept as the golden reference
+/// for stream-equivalence tests and as the "before" side of the `perf`
+/// harness's pack/unpack kernel comparison. Not used on any hot path.
+pub mod naive {
+    /// Bit-by-bit writer (reference implementation).
+    #[derive(Clone, Debug, Default)]
+    pub struct NaiveBitWriter {
+        bytes: Vec<u8>,
+        /// Bits already used in the last byte (0 = last byte is full/absent).
+        partial: u8,
+    }
+
+    impl NaiveBitWriter {
+        /// An empty writer.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Appends one bit.
+        pub fn push(&mut self, bit: bool) {
+            if self.partial == 0 {
+                self.bytes.push(0);
+            }
+            if bit {
+                let last = self.bytes.last_mut().expect("just pushed");
+                *last |= 1 << (7 - self.partial);
+            }
+            self.partial = (self.partial + 1) % 8;
+        }
+
+        /// Appends the `n` least-significant bits of `value`, most
+        /// significant of those first.
+        ///
+        /// # Panics
+        /// Panics if `n > 64`.
+        pub fn push_bits(&mut self, value: u64, n: u32) {
+            assert!(n <= 64, "cannot push {n} bits");
+            for i in (0..n).rev() {
+                self.push((value >> i) & 1 == 1);
+            }
+        }
+
+        /// Appends a slice of bits.
+        pub fn push_slice(&mut self, bits: &[bool]) {
+            for &b in bits {
+                self.push(b);
+            }
+        }
+
+        /// Zero-pads to the next byte boundary; returns the pad count.
+        pub fn pad_to_byte(&mut self) -> u32 {
+            let pad = (8 - u32::from(self.partial)) % 8;
+            for _ in 0..pad {
+                self.push(false);
+            }
+            pad
+        }
+
+        /// Total bits written so far.
+        pub fn bit_len(&self) -> usize {
+            if self.partial == 0 {
+                self.bytes.len() * 8
+            } else {
+                (self.bytes.len() - 1) * 8 + self.partial as usize
+            }
+        }
+
+        /// Finishes the stream (zero-padded) and returns the bytes.
+        pub fn into_bytes(mut self) -> Vec<u8> {
+            self.pad_to_byte();
+            self.bytes
+        }
+    }
+
+    /// Bit-by-bit reader (reference implementation).
+    #[derive(Clone, Debug)]
+    pub struct NaiveBitReader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> NaiveBitReader<'a> {
+        /// A reader over `bytes`.
+        pub fn new(bytes: &'a [u8]) -> Self {
+            NaiveBitReader { bytes, pos: 0 }
+        }
+
+        /// Reads one bit; `None` at end of stream.
+        pub fn next_bit(&mut self) -> Option<bool> {
+            let byte = self.bytes.get(self.pos / 8)?;
+            let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+            self.pos += 1;
+            Some(bit)
+        }
+
+        /// Reads `n` bits (first read = most significant); `None` if fewer
+        /// than `n` remain.
+        pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+            assert!(n <= 64, "cannot read {n} bits");
+            if self.bytes.len() * 8 - self.pos < n as usize {
+                return None;
+            }
+            let mut v = 0u64;
+            for _ in 0..n {
+                v = (v << 1) | u64::from(self.next_bit().expect("checked remaining"));
+            }
+            Some(v)
+        }
     }
 }
 
@@ -212,5 +354,36 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(64), Some(u64::MAX));
         assert_eq!(r.read_bits(64), Some(0));
+    }
+
+    #[test]
+    fn byte_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.push_bits(0b1, 1);
+        assert_eq!(w.byte_len(), 1);
+        w.push_bits(0, 7);
+        assert_eq!(w.byte_len(), 1);
+        w.push_bits(0, 1);
+        assert_eq!(w.byte_len(), 2);
+        w.push_bits(u64::MAX, 64);
+        assert_eq!(w.byte_len(), 10);
+        assert_eq!(w.bit_len(), 73);
+    }
+
+    #[test]
+    fn interleaved_pads_and_pushes_match_naive() {
+        let mut fast = BitWriter::new();
+        let mut slow = naive::NaiveBitWriter::new();
+        for i in 0..100u64 {
+            let n = (i % 65) as u32;
+            fast.push_bits(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), n);
+            slow.push_bits(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), n);
+            if i % 7 == 0 {
+                assert_eq!(fast.pad_to_byte(), slow.pad_to_byte());
+            }
+            assert_eq!(fast.bit_len(), slow.bit_len());
+        }
+        assert_eq!(fast.into_bytes(), slow.into_bytes());
     }
 }

@@ -18,7 +18,7 @@
 //! per object or fixed-size buckets, the two alternatives the paper
 //! rejects in §IV-A.
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::BitWriter;
 use std::fmt;
 
 /// One bit per payload byte; set bits mark the last byte of each packed
@@ -65,9 +65,51 @@ impl EndMap {
         self.len == 0
     }
 
-    /// Number of items (set bits) in the map.
+    /// Appends `n` bits ending an item: `n - 1` clear bits then one set
+    /// bit, without per-bit calls.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn push_run(&mut self, n: usize) {
+        assert!(n > 0, "an item covers at least one byte");
+        let new_len = self.len + n;
+        self.bits.resize(new_len.div_ceil(8), 0);
+        let last = new_len - 1;
+        self.bits[last / 8] |= 1 << (7 - last % 8);
+        self.len = new_len;
+    }
+
+    /// Number of items (set bits) in the map, by byte popcount.
     pub fn item_count(&self) -> usize {
-        (0..self.len).filter(|&i| self.get(i)).count()
+        let full = self.len / 8;
+        let mut count: u32 = self.bits[..full].iter().map(|b| b.count_ones()).sum();
+        let rem = self.len % 8;
+        if rem > 0 {
+            count += (self.bits[full] >> (8 - rem)).count_ones();
+        }
+        count as usize
+    }
+
+    /// Index of the first set bit in `[from, min(limit, len))`, scanning
+    /// byte-at-a-time.
+    pub fn next_set(&self, from: usize, limit: usize) -> Option<usize> {
+        let limit = limit.min(self.len);
+        if from >= limit {
+            return None;
+        }
+        let mut byte = from / 8;
+        let mut cur = self.bits[byte] & (0xFF >> (from % 8));
+        loop {
+            if cur != 0 {
+                let idx = byte * 8 + cur.leading_zeros() as usize;
+                return (idx < limit).then_some(idx);
+            }
+            byte += 1;
+            if byte * 8 >= limit {
+                return None;
+            }
+            cur = self.bits[byte];
+        }
     }
 
     /// Backing bytes (for size accounting and wire encoding).
@@ -168,17 +210,14 @@ impl Packer {
     pub fn push_value(&mut self, value: u64) {
         let sig = 64 - value.leading_zeros();
         let sig = sig.max(1); // value 0 still contributes one bit
-        let start_byte = self.payload.byte_len();
-        // Re-derive: if the current byte is partially full we are mid-byte;
-        // padding below guarantees items start byte-aligned, so byte_len()
+        // Items always start byte-aligned (padding below), so byte_len()
         // is exact here.
+        let start_byte = self.payload.byte_len();
         self.payload.push_bits(value, sig);
         self.payload.push(true); // end bit
         self.payload.pad_to_byte();
         let end_byte = self.payload.byte_len();
-        for i in start_byte..end_byte {
-            self.end_map.push(i == end_byte - 1);
-        }
+        self.end_map.push_run(end_byte - start_byte);
         self.count += 1;
     }
 
@@ -190,9 +229,7 @@ impl Packer {
         self.payload.push(true); // end bit
         self.payload.pad_to_byte();
         let end_byte = self.payload.byte_len();
-        for i in start_byte..end_byte {
-            self.end_map.push(i == end_byte - 1);
-        }
+        self.end_map.push_run(end_byte - start_byte);
         self.count += 1;
     }
 
@@ -227,60 +264,92 @@ impl<'a> Unpacker<'a> {
         }
     }
 
-    /// Unpacks the next item as a bit string (end bit and padding
-    /// removed); `None` at end of stream **or on corrupt data** (an end
-    /// map that never marks an end, or an item with no end bit) — corrupt
-    /// input degrades to early stream termination, never a panic.
-    pub fn next_item(&mut self) -> Option<Vec<bool>> {
+    /// Byte range `[start, end]` of the next item, found by scanning the
+    /// end map byte-at-a-time; `None` at end of stream or when the end
+    /// map never marks an end (corrupt — terminate the stream).
+    fn next_span(&mut self) -> Option<(usize, usize)> {
         if self.byte_pos >= self.packed.bytes.len() {
             return None;
         }
         let start = self.byte_pos;
-        let mut end = start;
         let limit = self.packed.bytes.len().min(self.packed.end_map.len());
-        loop {
-            if end >= limit {
+        match self.packed.end_map.next_set(start, limit) {
+            Some(end) => {
+                self.byte_pos = end + 1;
+                Some((start, end))
+            }
+            None => {
                 // Corrupt: ran off the payload without an end mark.
-                self.byte_pos = self.packed.bytes.len();
-                return None;
-            }
-            if self.packed.end_map.get(end) {
-                break;
-            }
-            end += 1;
-        }
-        self.byte_pos = end + 1;
-
-        let slice = &self.packed.bytes[start..=end];
-        let mut bits: Vec<bool> = Vec::with_capacity(slice.len() * 8);
-        let mut r = BitReader::new(slice);
-        while let Some(b) = r.next_bit() {
-            bits.push(b);
-        }
-        // Strip zero padding, then the end bit.
-        while bits.last() == Some(&false) {
-            bits.pop();
-        }
-        match bits.pop() {
-            Some(true) => Some(bits),
-            // Corrupt: an all-zero item has no end bit.
-            _ => {
                 self.byte_pos = self.packed.bytes.len();
                 None
             }
         }
     }
 
+    /// Unpacks the next item as a bit string (end bit and padding
+    /// removed); `None` at end of stream **or on corrupt data** (an end
+    /// map that never marks an end, or an item with no end bit) — corrupt
+    /// input degrades to early stream termination, never a panic.
+    pub fn next_item(&mut self) -> Option<Vec<bool>> {
+        let (start, end) = self.next_span()?;
+        let slice = &self.packed.bytes[start..=end];
+        // Locate the end bit: the lowest set bit of the final non-zero
+        // byte. Everything after it is zero padding.
+        let Some(last) = slice.iter().rposition(|&b| b != 0) else {
+            // Corrupt: an all-zero item has no end bit.
+            self.byte_pos = self.packed.bytes.len();
+            return None;
+        };
+        let nbits = (last + 1) * 8 - 1 - slice[last].trailing_zeros() as usize;
+        let mut bits: Vec<bool> = Vec::with_capacity(nbits);
+        for i in 0..nbits {
+            bits.push(slice[i / 8] & (1 << (7 - i % 8)) != 0);
+        }
+        Some(bits)
+    }
+
+    /// Bit length of the next item (end bit and padding excluded) without
+    /// materializing it; same corruption semantics as
+    /// [`Self::next_item`].
+    pub fn next_item_len(&mut self) -> Option<usize> {
+        let (start, end) = self.next_span()?;
+        let slice = &self.packed.bytes[start..=end];
+        let Some(last) = slice.iter().rposition(|&b| b != 0) else {
+            self.byte_pos = self.packed.bytes.len();
+            return None;
+        };
+        Some((last + 1) * 8 - 1 - slice[last].trailing_zeros() as usize)
+    }
+
     /// Unpacks the next item as an integer; `None` at end of stream or on
     /// corrupt data (including items longer than 64 bits, which no valid
-    /// integer item can be).
+    /// integer item can be). Decodes straight from the payload bytes —
+    /// no intermediate bit vector.
     pub fn next_value(&mut self) -> Option<u64> {
-        let bits = self.next_item()?;
-        if bits.len() > 64 {
+        let (start, end) = self.next_span()?;
+        let slice = &self.packed.bytes[start..=end];
+        // A valid integer item is ≤ 64 payload bits + end bit → ≤ 9 bytes.
+        if slice.len() > 9 {
             self.byte_pos = self.packed.bytes.len();
             return None;
         }
-        Some(bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b)))
+        let mut buf = [0u8; 16];
+        buf[..slice.len()].copy_from_slice(slice);
+        // Right-align the item's bits so the zero padding and end bit sit
+        // at the low end.
+        let word = u128::from_be_bytes(buf) >> (128 - slice.len() * 8);
+        if word == 0 {
+            // Corrupt: an all-zero item has no end bit.
+            self.byte_pos = self.packed.bytes.len();
+            return None;
+        }
+        let tz = word.trailing_zeros(); // zero padding below the end bit
+        let nbits = slice.len() * 8 - 1 - tz as usize;
+        if nbits > 64 {
+            self.byte_pos = self.packed.bytes.len();
+            return None;
+        }
+        Some((word >> (tz + 1)) as u64)
     }
 
     /// Bytes consumed so far.

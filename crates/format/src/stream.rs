@@ -132,13 +132,11 @@ impl CerealStream {
     /// reference and an 8 B bitmap-length prefix per object instead of the
     /// packed encodings. Used by the packing-ablation experiment.
     pub fn baseline_wire_bytes(&self) -> usize {
-        let bitmap_payload: usize = self
-            .bitmaps
-            .clone()
-            .to_items()
-            .iter()
-            .map(|b| b.len().div_ceil(8))
-            .sum();
+        let mut u = crate::pack::Unpacker::new(&self.bitmaps);
+        let mut bitmap_payload = 0usize;
+        while let Some(len) = u.next_item_len() {
+            bitmap_payload += len.div_ceil(8);
+        }
         StreamHeader::BYTES
             + self.value_array.len()
             + self.refs.count * 8
@@ -149,6 +147,16 @@ impl CerealStream {
     /// Encodes to wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_bytes());
+        self.to_bytes_into(&mut out);
+        out
+    }
+
+    /// Encodes to wire bytes into a caller-owned scratch buffer, clearing
+    /// it first. Repeated encoders (e.g. the JSBS harness's 1000-rep
+    /// loops) reuse one allocation across calls.
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.wire_bytes());
         let h = [
             MAGIC,
             self.total_object_bytes,
@@ -169,7 +177,6 @@ impl CerealStream {
         out.extend_from_slice(self.refs.end_map.as_bytes());
         out.extend_from_slice(&self.bitmaps.bytes);
         out.extend_from_slice(self.bitmaps.end_map.as_bytes());
-        out
     }
 
     /// Decodes from wire bytes.

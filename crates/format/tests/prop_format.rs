@@ -1,26 +1,51 @@
-//! Property-based tests for the Cereal format primitives.
+//! Seeded randomized tests for the Cereal format primitives.
+//!
+//! Formerly proptest properties; now deterministic loops over the
+//! in-repo PRNG so the suite runs offline with no external crates. Each
+//! test fixes its seed, so a failure reproduces exactly.
 
-use proptest::prelude::*;
 use sdformat::pack::{Packed, Packer, Unpacker};
 use sdformat::stream::{decode_ref, encode_ref, CerealStream};
 use sdformat::varint::{read_varint, write_varint};
 use sdformat::{BitReader, BitWriter};
+use sdheap::rng::Rng;
 
-proptest! {
-    /// Any sequence of u64 values survives pack → unpack.
-    #[test]
-    fn pack_roundtrips_values(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+fn random_values(rng: &mut Rng, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range_usize(0, max_len + 1);
+    (0..len)
+        .map(|_| {
+            // Mix widths so small and full-width values both appear.
+            let v = rng.next_u64();
+            v >> rng.gen_range_u64(0, 64)
+        })
+        .collect()
+}
+
+fn random_bits(rng: &mut Rng, max_len: usize) -> Vec<bool> {
+    let len = rng.gen_range_usize(0, max_len + 1);
+    (0..len).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// Any sequence of u64 values survives pack → unpack.
+#[test]
+fn pack_roundtrips_values() {
+    let mut rng = Rng::new(0xF0_0001);
+    for _ in 0..200 {
+        let values = random_values(&mut rng, 200);
         let packed = Packed::from_values(values.iter().copied());
-        prop_assert_eq!(packed.to_values(), values);
+        assert_eq!(packed.to_values(), values);
     }
+}
 
-    /// Any sequence of bit strings (layout bitmaps) survives pack → unpack,
-    /// leading zeros included.
-    #[test]
-    fn pack_roundtrips_bitmaps(
-        bitmaps in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 0..100), 0..50)
-    ) {
+/// Any sequence of bit strings (layout bitmaps) survives pack → unpack,
+/// leading zeros included.
+#[test]
+fn pack_roundtrips_bitmaps() {
+    let mut rng = Rng::new(0xF0_0002);
+    for _ in 0..100 {
+        let bitmaps: Vec<Vec<bool>> = (0..rng.gen_range_usize(0, 50))
+            .map(|_| random_bits(&mut rng, 100))
+            .collect();
         let mut p = Packer::new();
         for bm in &bitmaps {
             p.push_bits(bm);
@@ -28,22 +53,26 @@ proptest! {
         let packed = p.finish();
         let mut u = Unpacker::new(&packed);
         for bm in &bitmaps {
-            let item = u.next_item();
-            prop_assert_eq!(item.as_deref(), Some(bm.as_slice()));
+            assert_eq!(u.next_item().as_deref(), Some(bm.as_slice()));
         }
-        prop_assert_eq!(u.next_item(), None);
+        assert_eq!(u.next_item(), None);
     }
+}
 
-    /// Mixed values and bit strings unpack in order.
-    #[test]
-    fn pack_mixed_items(
-        items in proptest::collection::vec(
-            prop_oneof![
-                any::<u64>().prop_map(Err),
-                proptest::collection::vec(any::<bool>(), 0..40).prop_map(Ok),
-            ],
-            0..60)
-    ) {
+/// Mixed values and bit strings unpack in order.
+#[test]
+fn pack_mixed_items() {
+    let mut rng = Rng::new(0xF0_0003);
+    for _ in 0..100 {
+        let items: Vec<Result<Vec<bool>, u64>> = (0..rng.gen_range_usize(0, 60))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Err(rng.next_u64() >> rng.gen_range_u64(0, 64))
+                } else {
+                    Ok(random_bits(&mut rng, 40))
+                }
+            })
+            .collect();
         let mut p = Packer::new();
         for item in &items {
             match item {
@@ -55,29 +84,35 @@ proptest! {
         let mut u = Unpacker::new(&packed);
         for item in &items {
             match item {
-                Err(v) => prop_assert_eq!(u.next_value(), Some(*v)),
-                Ok(bits) => {
-                    let item = u.next_item();
-                    prop_assert_eq!(item.as_deref(), Some(bits.as_slice()));
-                }
+                Err(v) => assert_eq!(u.next_value(), Some(*v)),
+                Ok(bits) => assert_eq!(u.next_item().as_deref(), Some(bits.as_slice())),
             }
         }
     }
+}
 
-    /// Packed size never exceeds the naive 9-bytes-per-value bound and the
-    /// end map covers exactly the payload.
-    #[test]
-    fn pack_size_bounds(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+/// Packed size never exceeds the naive 9-bytes-per-value bound and the
+/// end map covers exactly the payload.
+#[test]
+fn pack_size_bounds() {
+    let mut rng = Rng::new(0xF0_0004);
+    for _ in 0..200 {
+        let mut values = random_values(&mut rng, 99);
+        values.push(rng.next_u64()); // at least one
         let packed = Packed::from_values(values.iter().copied());
-        prop_assert!(packed.bytes.len() <= values.len() * 9);
-        prop_assert!(packed.bytes.len() >= values.len()); // ≥ 1 byte per item
-        prop_assert_eq!(packed.end_map.len(), packed.bytes.len());
-        prop_assert_eq!(packed.end_map.item_count(), values.len());
+        assert!(packed.bytes.len() <= values.len() * 9);
+        assert!(packed.bytes.len() >= values.len()); // ≥ 1 byte per item
+        assert_eq!(packed.end_map.len(), packed.bytes.len());
+        assert_eq!(packed.end_map.item_count(), values.len());
     }
+}
 
-    /// Varints roundtrip.
-    #[test]
-    fn varint_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+/// Varints roundtrip.
+#[test]
+fn varint_roundtrip() {
+    let mut rng = Rng::new(0xF0_0005);
+    for _ in 0..200 {
+        let values = random_values(&mut rng, 100);
         let mut buf = Vec::new();
         for &v in &values {
             write_varint(&mut buf, v);
@@ -85,38 +120,61 @@ proptest! {
         let mut pos = 0;
         for &v in &values {
             let (decoded, next) = read_varint(&buf, pos).unwrap();
-            prop_assert_eq!(decoded, v);
+            assert_eq!(decoded, v);
             pos = next;
         }
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(pos, buf.len());
     }
+}
 
-    /// Bit streams roundtrip arbitrary bit patterns.
-    #[test]
-    fn bitio_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+/// Bit streams roundtrip arbitrary bit patterns.
+#[test]
+fn bitio_roundtrip() {
+    let mut rng = Rng::new(0xF0_0006);
+    for _ in 0..200 {
+        let bits = random_bits(&mut rng, 500);
         let mut w = BitWriter::new();
         w.push_slice(&bits);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &b in &bits {
-            prop_assert_eq!(r.next_bit(), Some(b));
+            assert_eq!(r.next_bit(), Some(b));
         }
     }
+}
 
-    /// Reference encoding is a bijection between Option<u32> and its codes.
-    #[test]
-    fn ref_encoding_bijective(rel in proptest::option::of(any::<u32>())) {
-        prop_assert_eq!(decode_ref(encode_ref(rel)), rel);
+/// Reference encoding is a bijection between Option<u32> and its codes.
+#[test]
+fn ref_encoding_bijective() {
+    let mut rng = Rng::new(0xF0_0007);
+    assert_eq!(decode_ref(encode_ref(None)), None);
+    for _ in 0..1000 {
+        let rel = Some(rng.next_u64() as u32);
+        assert_eq!(decode_ref(encode_ref(rel)), rel);
     }
+}
 
-    /// Stream wire encoding roundtrips for arbitrary section contents.
-    #[test]
-    fn stream_wire_roundtrip(
-        words in proptest::collection::vec(any::<u64>(), 0..50),
-        refs in proptest::collection::vec(proptest::option::of(any::<u32>()), 0..50),
-        bitmaps in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 1..30), 0..20),
-    ) {
+/// Stream wire encoding roundtrips for arbitrary section contents.
+#[test]
+fn stream_wire_roundtrip() {
+    let mut rng = Rng::new(0xF0_0008);
+    for _ in 0..100 {
+        let words = random_values(&mut rng, 50);
+        let refs: Vec<Option<u32>> = (0..rng.gen_range_usize(0, 50))
+            .map(|_| {
+                if rng.gen_bool(0.2) {
+                    None
+                } else {
+                    Some(rng.next_u64() as u32)
+                }
+            })
+            .collect();
+        let bitmaps: Vec<Vec<bool>> = (0..rng.gen_range_usize(0, 20))
+            .map(|_| {
+                let len = rng.gen_range_usize(1, 30);
+                (0..len).map(|_| rng.gen_bool(0.5)).collect()
+            })
+            .collect();
         let mut value_array = Vec::new();
         for w in &words {
             value_array.extend_from_slice(&w.to_le_bytes());
@@ -137,12 +195,15 @@ proptest! {
             bitmaps: bp.finish(),
         };
         let decoded = CerealStream::from_bytes(&s.to_bytes()).unwrap();
-        prop_assert_eq!(&decoded, &s);
+        assert_eq!(&decoded, &s);
         // Unpacked refs survive the full wire trip.
-        let decoded_refs: Vec<_> = decoded.refs.to_items().iter()
+        let decoded_refs: Vec<_> = decoded
+            .refs
+            .to_items()
+            .iter()
             .map(|bits| bits.iter().fold(0u64, |a, &b| (a << 1) | u64::from(b)))
             .map(decode_ref)
             .collect();
-        prop_assert_eq!(decoded_refs, refs);
+        assert_eq!(decoded_refs, refs);
     }
 }

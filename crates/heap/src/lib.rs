@@ -45,6 +45,7 @@ pub mod heap;
 pub mod klass;
 pub mod mark;
 pub mod object;
+pub mod rng;
 pub mod word;
 
 pub use builder::GraphBuilder;

@@ -74,6 +74,28 @@ pub trait Serializer {
         sink: &mut dyn TraceSink,
     ) -> Result<Vec<u8>, SerError>;
 
+    /// Serializes the graph rooted at `root` into a caller-owned scratch
+    /// buffer, clearing it first, and returns the encoded length.
+    ///
+    /// Benchmark loops that serialize thousands of times reuse one
+    /// allocation across calls. The default delegates to
+    /// [`Serializer::serialize`]; implementations that build their output
+    /// incrementally override this to write into `out` directly.
+    ///
+    /// # Errors
+    /// Same as [`Serializer::serialize`].
+    fn serialize_into(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, SerError> {
+        *out = self.serialize(heap, reg, root, sink)?;
+        Ok(out.len())
+    }
+
     /// Reconstructs a graph from `bytes` into `dst`, returning the root
     /// address.
     ///

@@ -75,8 +75,9 @@ struct SerCtx<'a> {
 enum SerFrame {
     /// Serialize the object at this address (dispatch on null/back-ref/new).
     Write(Addr),
-    /// Continue an instance's fields from `idx`.
-    Fields { addr: Addr, idx: usize },
+    /// Continue an instance's fields from `idx`; the klass id resolved at
+    /// dispatch rides along so resumes skip the klass/registry lookups.
+    Fields { addr: Addr, idx: usize, id: KlassId },
     /// Continue a reference array's elements from `idx`.
     Elems { addr: Addr, idx: usize },
 }
@@ -116,7 +117,10 @@ impl<'a> SerCtx<'a> {
             self.put_u32(h);
             return;
         }
-        let k = self.reg.get(id);
+        // `reg` outlives `self`, so the descriptor borrow survives the
+        // mutable `put` calls below — no field-name cloning needed.
+        let reg: &'a KlassRegistry = self.reg;
+        let k = reg.get(id);
         self.put_u8(TC_CLASSDESC);
         let name = k.name().as_bytes();
         self.tracer.alu(name.len() as u32); // string copy into the stream
@@ -130,23 +134,16 @@ impl<'a> SerCtx<'a> {
             self.put_u16(0);
         } else {
             self.put_u16(k.num_fields() as u16);
-            let fields: Vec<(char, String)> = k
-                .fields()
-                .iter()
-                .map(|f| {
-                    let sig = match f.kind {
-                        FieldKind::Value(vt) => vt.signature(),
-                        FieldKind::Ref => 'L',
-                    };
-                    (sig, f.name.clone())
-                })
-                .collect();
-            for (sig, fname) in fields {
+            for f in k.fields() {
+                let sig = match f.kind {
+                    FieldKind::Value(vt) => vt.signature(),
+                    FieldKind::Ref => 'L',
+                };
                 self.put_u8(sig as u8);
-                let fb = fname.as_bytes();
+                let fb = f.name.as_bytes();
                 self.tracer.alu(fb.len() as u32);
                 self.put_u16(fb.len() as u16);
-                self.put(fb.to_vec().as_slice());
+                self.put(fb);
             }
         }
         let h = self.next_handle;
@@ -216,12 +213,12 @@ impl<'a> SerCtx<'a> {
                         let h = self.next_handle;
                         self.next_handle += 1;
                         self.handles.insert(addr, h);
-                        stack.push(SerFrame::Fields { addr, idx: 0 });
+                        stack.push(SerFrame::Fields { addr, idx: 0, id });
                     }
                 }
-                SerFrame::Fields { addr, idx } => {
-                    let k = self.reg.get(self.heap.klass_of(self.reg, addr));
-                    let fields = k.fields();
+                SerFrame::Fields { addr, idx, id } => {
+                    let reg: &'a KlassRegistry = self.reg;
+                    let fields = reg.get(id).fields();
                     let mut i = idx;
                     while i < fields.len() {
                         // Reflective extraction of the field value.
@@ -237,7 +234,7 @@ impl<'a> SerCtx<'a> {
                                 i += 1;
                             }
                             FieldKind::Ref => {
-                                stack.push(SerFrame::Fields { addr, idx: i + 1 });
+                                stack.push(SerFrame::Fields { addr, idx: i + 1, id });
                                 stack.push(SerFrame::Write(Addr(word)));
                                 break;
                             }
@@ -285,7 +282,9 @@ enum Dest {
 
 enum DeFrame {
     Read(Dest),
-    Fields { addr: Addr, idx: usize },
+    /// The klass id resolved at allocation rides along so resumes skip
+    /// the klass/registry lookups.
+    Fields { addr: Addr, idx: usize, id: KlassId },
     Elems { addr: Addr, idx: usize },
 }
 
@@ -413,7 +412,7 @@ impl<'a> DeCtx<'a> {
                             self.tracer.store_bytes(addr.get(), 24); // header init
                             self.handles.push(addr);
                             self.class_handles.push(None);
-                            stack.push(DeFrame::Fields { addr, idx: 0 });
+                            stack.push(DeFrame::Fields { addr, idx: 0, id });
                             // Order matters: the fields frame must run before
                             // anything the parent still has pending, and the
                             // stack gives us exactly that.
@@ -465,16 +464,14 @@ impl<'a> DeCtx<'a> {
                         got_root = true;
                     }
                 }
-                DeFrame::Fields { addr, idx } => {
-                    let id = self.heap.klass_of(self.reg, addr);
-                    let nfields = self.reg.get(id).num_fields();
+                DeFrame::Fields { addr, idx, id } => {
+                    let reg: &'a KlassRegistry = self.reg;
+                    let fields = reg.get(id).fields();
                     let mut i = idx;
-                    while i < nfields {
-                        let kind = self.reg.get(id).fields()[i].kind;
-                        match kind {
+                    while i < fields.len() {
+                        match fields[i].kind {
                             FieldKind::Value(vt) => {
-                                let fname_len =
-                                    self.reg.get(id).fields()[i].name.len() as u32;
+                                let fname_len = fields[i].name.len() as u32;
                                 let w = self.read_primitive(vt)?;
                                 // Reflective field set with string lookup.
                                 self.tracer.reflect_call();
@@ -485,7 +482,7 @@ impl<'a> DeCtx<'a> {
                                 i += 1;
                             }
                             FieldKind::Ref => {
-                                stack.push(DeFrame::Fields { addr, idx: i + 1 });
+                                stack.push(DeFrame::Fields { addr, idx: i + 1, id });
                                 stack.push(DeFrame::Read(Dest::Field(addr, i)));
                                 break;
                             }
@@ -517,10 +514,24 @@ impl Serializer for JavaSd {
         root: Addr,
         sink: &mut dyn TraceSink,
     ) -> Result<Vec<u8>, SerError> {
+        let mut out = Vec::new();
+        self.serialize_into(heap, reg, root, sink, &mut out)?;
+        Ok(out)
+    }
+
+    fn serialize_into(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, SerError> {
+        out.clear();
         let mut ctx = SerCtx {
             heap,
             reg,
-            out: Vec::new(),
+            out: std::mem::take(out),
             handles: HashMap::new(),
             class_handles: HashMap::new(),
             next_handle: 0,
@@ -529,7 +540,8 @@ impl Serializer for JavaSd {
         ctx.put_u16(STREAM_MAGIC);
         ctx.put_u16(STREAM_VERSION);
         ctx.run(root);
-        Ok(ctx.out)
+        *out = ctx.out;
+        Ok(out.len())
     }
 
     fn deserialize(

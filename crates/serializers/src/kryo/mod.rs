@@ -19,7 +19,7 @@
 use crate::api::{SerError, Serializer};
 use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
 use sdformat::varint::{read_varint, write_varint};
-use sdheap::{Addr, FieldKind, Heap, KlassRegistry, ValueType, HEADER_WORDS};
+use sdheap::{Addr, FieldKind, Heap, KlassId, KlassRegistry, ValueType, HEADER_WORDS};
 use std::collections::HashMap;
 
 const TAG_NULL: u8 = 0;
@@ -53,7 +53,9 @@ struct SerCtx<'a> {
 
 enum SerFrame {
     Write(Addr),
-    Fields { addr: Addr, idx: usize },
+    /// The klass id resolved at dispatch rides along so resumes skip the
+    /// klass/registry lookups.
+    Fields { addr: Addr, idx: usize, id: KlassId },
     Elems { addr: Addr, idx: usize },
 }
 
@@ -127,12 +129,12 @@ impl<'a> SerCtx<'a> {
                             FieldKind::Ref => stack.push(SerFrame::Elems { addr, idx: 0 }),
                         }
                     } else {
-                        stack.push(SerFrame::Fields { addr, idx: 0 });
+                        stack.push(SerFrame::Fields { addr, idx: 0, id });
                     }
                 }
-                SerFrame::Fields { addr, idx } => {
-                    let k = self.reg.get(self.heap.klass_of(self.reg, addr));
-                    let fields = k.fields();
+                SerFrame::Fields { addr, idx, id } => {
+                    let reg: &'a KlassRegistry = self.reg;
+                    let fields = reg.get(id).fields();
                     let mut i = idx;
                     while i < fields.len() {
                         // Generated accessor: a plain call, not reflection.
@@ -146,7 +148,7 @@ impl<'a> SerCtx<'a> {
                                 i += 1;
                             }
                             FieldKind::Ref => {
-                                stack.push(SerFrame::Fields { addr, idx: i + 1 });
+                                stack.push(SerFrame::Fields { addr, idx: i + 1, id });
                                 stack.push(SerFrame::Write(Addr(word)));
                                 break;
                             }
@@ -186,7 +188,9 @@ enum Dest {
 
 enum DeFrame {
     Read(Dest),
-    Fields { addr: Addr, idx: usize },
+    /// The klass id resolved at allocation rides along so resumes skip
+    /// the klass/registry lookups.
+    Fields { addr: Addr, idx: usize, id: KlassId },
     Elems { addr: Addr, idx: usize },
 }
 
@@ -302,7 +306,7 @@ impl<'a> DeCtx<'a> {
                                 self.tracer.alloc(k.instance_words() as u32 * 8);
                                 let addr = self.heap.alloc(self.reg, id)?;
                                 self.tracer.store_bytes(addr.get(), 24); // header init
-                                stack.push(DeFrame::Fields { addr, idx: 0 });
+                                stack.push(DeFrame::Fields { addr, idx: 0, id });
                                 addr
                             };
                             self.handles.push(addr);
@@ -316,12 +320,12 @@ impl<'a> DeCtx<'a> {
                         got_root = true;
                     }
                 }
-                DeFrame::Fields { addr, idx } => {
-                    let id = self.heap.klass_of(self.reg, addr);
-                    let nfields = self.reg.get(id).num_fields();
+                DeFrame::Fields { addr, idx, id } => {
+                    let reg: &'a KlassRegistry = self.reg;
+                    let fields = reg.get(id).fields();
                     let mut i = idx;
-                    while i < nfields {
-                        match self.reg.get(id).fields()[i].kind {
+                    while i < fields.len() {
+                        match fields[i].kind {
                             FieldKind::Value(vt) => {
                                 let w = self.get_primitive(vt)?;
                                 self.tracer.call(); // generated setter
@@ -331,7 +335,7 @@ impl<'a> DeCtx<'a> {
                                 i += 1;
                             }
                             FieldKind::Ref => {
-                                stack.push(DeFrame::Fields { addr, idx: i + 1 });
+                                stack.push(DeFrame::Fields { addr, idx: i + 1, id });
                                 stack.push(DeFrame::Read(Dest::Field(addr, i)));
                                 break;
                             }

@@ -19,7 +19,7 @@
 use crate::api::{SerError, Serializer};
 use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
 use sdformat::varint::{read_varint, write_varint};
-use sdheap::{Addr, FieldKind, Heap, KlassRegistry, ValueType, HEADER_WORDS};
+use sdheap::{Addr, FieldKind, Heap, KlassId, KlassRegistry, ValueType, HEADER_WORDS};
 use std::collections::HashMap;
 
 const TAG_NULL: u8 = 0;
@@ -58,11 +58,13 @@ struct SerCtx<'a> {
 
 enum Frame {
     Write(Addr),
-    Fields { addr: Addr, idx: usize },
+    /// The klass id resolved at dispatch rides along so resumes skip the
+    /// klass/registry lookups.
+    Fields { addr: Addr, idx: usize, id: KlassId },
     Elems { addr: Addr, idx: usize },
 }
 
-impl SerCtx<'_> {
+impl<'a> SerCtx<'a> {
     fn put(&mut self, bytes: &[u8]) {
         self.tracer
             .store_bytes(OUT_STREAM_BASE + self.out.len() as u64, bytes.len() as u32);
@@ -125,12 +127,12 @@ impl SerCtx<'_> {
                             FieldKind::Ref => stack.push(Frame::Elems { addr, idx: 0 }),
                         }
                     } else {
-                        stack.push(Frame::Fields { addr, idx: 0 });
+                        stack.push(Frame::Fields { addr, idx: 0, id });
                     }
                 }
-                Frame::Fields { addr, idx } => {
-                    let k = self.reg.get(self.heap.klass_of(self.reg, addr));
-                    let fields = k.fields();
+                Frame::Fields { addr, idx, id } => {
+                    let reg: &'a KlassRegistry = self.reg;
+                    let fields = reg.get(id).fields();
                     let mut i = idx;
                     while i < fields.len() {
                         // Generated code: no accessor call, just the load.
@@ -143,7 +145,7 @@ impl SerCtx<'_> {
                                 i += 1;
                             }
                             FieldKind::Ref => {
-                                stack.push(Frame::Fields { addr, idx: i + 1 });
+                                stack.push(Frame::Fields { addr, idx: i + 1, id });
                                 stack.push(Frame::Write(Addr(word)));
                                 break;
                             }
@@ -183,7 +185,9 @@ enum Dest {
 
 enum DeFrame {
     Read(Dest),
-    Fields { addr: Addr, idx: usize },
+    /// The klass id resolved at allocation rides along so resumes skip
+    /// the klass/registry lookups.
+    Fields { addr: Addr, idx: usize, id: KlassId },
     Elems { addr: Addr, idx: usize },
 }
 
@@ -290,7 +294,7 @@ impl<'a> DeCtx<'a> {
                                 self.tracer.alloc(k.instance_words() as u32 * 8);
                                 let addr = self.heap.alloc(self.reg, id)?;
                                 self.tracer.store_bytes(addr.get(), 24);
-                                stack.push(DeFrame::Fields { addr, idx: 0 });
+                                stack.push(DeFrame::Fields { addr, idx: 0, id });
                                 addr
                             };
                             self.handles.push(addr);
@@ -304,12 +308,12 @@ impl<'a> DeCtx<'a> {
                         got_root = true;
                     }
                 }
-                DeFrame::Fields { addr, idx } => {
-                    let id = self.heap.klass_of(self.reg, addr);
-                    let nfields = self.reg.get(id).num_fields();
+                DeFrame::Fields { addr, idx, id } => {
+                    let reg: &'a KlassRegistry = self.reg;
+                    let fields = reg.get(id).fields();
                     let mut i = idx;
-                    while i < nfields {
-                        match self.reg.get(id).fields()[i].kind {
+                    while i < fields.len() {
+                        match fields[i].kind {
                             FieldKind::Value(vt) => {
                                 let w = self.get_primitive(vt)?;
                                 // Generated setter: inlined store.
@@ -319,7 +323,7 @@ impl<'a> DeCtx<'a> {
                                 i += 1;
                             }
                             FieldKind::Ref => {
-                                stack.push(DeFrame::Fields { addr, idx: i + 1 });
+                                stack.push(DeFrame::Fields { addr, idx: i + 1, id });
                                 stack.push(DeFrame::Read(Dest::Field(addr, i)));
                                 break;
                             }

@@ -1,28 +1,41 @@
-//! Property-based round-trip tests: every serializer must reconstruct an
-//! isomorphic copy of arbitrary random object graphs.
+//! Seeded randomized round-trip tests: every serializer must reconstruct
+//! an isomorphic copy of arbitrary random object graphs.
+//!
+//! Formerly proptest properties; now deterministic loops over the
+//! in-repo PRNG so the suite runs offline.
 
-use proptest::prelude::*;
 use sdheap::builder::Init;
+use sdheap::rng::Rng;
 use sdheap::{
     isomorphic_with, Addr, FieldKind, GraphBuilder, Heap, IsoOptions, KlassRegistry, ValueType,
 };
 use serializers::{JavaSd, Kryo, NullSink, Serializer, Skyway};
 
-/// A compact recipe for a random object graph that proptest can shrink.
-#[derive(Clone, Debug)]
+/// A compact recipe for a random object graph.
+///
+/// Per object: (class pick 0..3, long value, up to 3 edges as indices
+/// into the object list *modulo* position, allowing forward/cyclic
+/// edges).
 struct GraphRecipe {
-    /// Per-object: (class pick 0..3, long value, up to 3 edges as indices
-    /// into the object list *modulo* position, allowing forward/cyclic
-    /// edges).
     nodes: Vec<(u8, u64, [u8; 3])>,
 }
 
-fn recipe_strategy() -> impl Strategy<Value = GraphRecipe> {
-    proptest::collection::vec(
-        (any::<u8>(), any::<u64>(), [any::<u8>(), any::<u8>(), any::<u8>()]),
-        1..40,
-    )
-    .prop_map(|nodes| GraphRecipe { nodes })
+fn random_recipe(rng: &mut Rng) -> GraphRecipe {
+    let n = rng.gen_range_usize(1, 40);
+    GraphRecipe {
+        nodes: (0..n)
+            .map(|_| {
+                let pick = rng.next_u64() as u8;
+                let value = rng.next_u64();
+                let edges = [
+                    rng.next_u64() as u8,
+                    rng.next_u64() as u8,
+                    rng.next_u64() as u8,
+                ];
+                (pick, value, edges)
+            })
+            .collect(),
+    }
 }
 
 /// Builds a heap from a recipe. Classes:
@@ -105,34 +118,44 @@ fn roundtrip_ok(ser: &dyn Serializer, heap: &mut Heap, reg: &KlassRegistry, root
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn javasd_roundtrips_random_graphs(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
-        prop_assert!(roundtrip_ok(&JavaSd::new(), &mut heap, &reg, root));
+#[test]
+fn javasd_roundtrips_random_graphs() {
+    let mut rng = Rng::new(0x5E_0001);
+    for i in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
+        assert!(roundtrip_ok(&JavaSd::new(), &mut heap, &reg, root), "case {i}");
     }
+}
 
-    #[test]
-    fn kryo_roundtrips_random_graphs(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
-        prop_assert!(roundtrip_ok(&Kryo::new(), &mut heap, &reg, root));
+#[test]
+fn kryo_roundtrips_random_graphs() {
+    let mut rng = Rng::new(0x5E_0002);
+    for i in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
+        assert!(roundtrip_ok(&Kryo::new(), &mut heap, &reg, root), "case {i}");
     }
+}
 
-    #[test]
-    fn skyway_roundtrips_random_graphs(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
-        prop_assert!(roundtrip_ok(&Skyway::new(), &mut heap, &reg, root));
+#[test]
+fn skyway_roundtrips_random_graphs() {
+    let mut rng = Rng::new(0x5E_0003);
+    for i in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
+        assert!(roundtrip_ok(&Skyway::new(), &mut heap, &reg, root), "case {i}");
     }
+}
 
-    /// Serialized sizes always order Kryo ≤ Java S/D for graphs with at
-    /// least a handful of objects (integer IDs beat embedded strings).
-    #[test]
-    fn kryo_never_larger_than_javasd(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
+/// Serialized sizes always order Kryo ≤ Java S/D (integer IDs beat
+/// embedded strings).
+#[test]
+fn kryo_never_larger_than_javasd() {
+    let mut rng = Rng::new(0x5E_0004);
+    for _ in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
         let kryo = Kryo::new().serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
         let java = JavaSd::new().serialize(&mut heap, &reg, root, &mut NullSink).unwrap();
-        prop_assert!(kryo.len() <= java.len(), "kryo {} > java {}", kryo.len(), java.len());
+        assert!(kryo.len() <= java.len(), "kryo {} > java {}", kryo.len(), java.len());
     }
 }

@@ -1,53 +1,61 @@
-//! Property-based tests on the timing substrate: physical sanity
+//! Seeded randomized tests on the timing substrate: physical sanity
 //! invariants that must hold for any access pattern.
+//!
+//! Formerly proptest properties; now deterministic loops over the
+//! in-repo PRNG so the suite runs offline.
 
-use proptest::prelude::*;
+use sdheap::rng::Rng;
 use sim::{Dram, DramConfig, Hierarchy, Mai, MaiConfig, ReorderBuffer, Tlb};
 
-proptest! {
-    /// DRAM completions respect causality and service time; the byte
-    /// meter is exact; utilization never exceeds 1.
-    #[test]
-    fn dram_is_physical(
-        accesses in proptest::collection::vec(
-            (any::<u32>(), 1u64..4096, 0u32..1_000_000), 1..200)
-    ) {
+/// DRAM completions respect causality and service time; the byte meter
+/// is exact; utilization never exceeds 1.
+#[test]
+fn dram_is_physical() {
+    let mut rng = Rng::new(0x51_0001);
+    for _ in 0..50 {
         let mut dram = Dram::new(DramConfig::default());
         let mut total = 0u64;
         let mut horizon: f64 = 0.0;
-        for &(addr, bytes, now) in &accesses {
-            let now = f64::from(now) / 10.0;
-            let done = dram.read(u64::from(addr), bytes, now);
+        for _ in 0..rng.gen_range_usize(1, 200) {
+            let addr = rng.next_u64() & 0xffff_ffff;
+            let bytes = rng.gen_range_u64(1, 4096);
+            let now = rng.gen_range_f64(0.0, 100_000.0);
+            let done = dram.read(addr, bytes, now);
             let service = bytes as f64 / 19.2;
-            prop_assert!(done >= now + service + 39.999, "done {done} < now {now} + service");
+            assert!(done >= now + service + 39.999, "done {done} < now {now} + service");
             total += bytes;
             horizon = horizon.max(done);
         }
-        prop_assert_eq!(dram.total_bytes(), total);
-        prop_assert!(dram.utilization(horizon) <= 1.0 + 1e-9);
+        assert_eq!(dram.total_bytes(), total);
+        assert!(dram.utilization(horizon) <= 1.0 + 1e-9);
     }
+}
 
-    /// Issuing the same accesses later never makes them complete earlier.
-    #[test]
-    fn dram_is_monotone_in_time(
-        addr in any::<u32>(),
-        bytes in 1u64..1024,
-        t1 in 0u32..100_000,
-        dt in 1u32..100_000,
-    ) {
+/// Issuing the same accesses later never makes them complete earlier.
+#[test]
+fn dram_is_monotone_in_time() {
+    let mut rng = Rng::new(0x51_0002);
+    for _ in 0..500 {
+        let addr = rng.next_u64() & 0xffff_ffff;
+        let bytes = rng.gen_range_u64(1, 1024);
+        let t1 = rng.gen_range_f64(0.0, 100_000.0);
+        let dt = rng.gen_range_f64(1.0, 100_000.0);
         let mut d1 = Dram::new(DramConfig::default());
         let mut d2 = Dram::new(DramConfig::default());
-        let a = d1.read(u64::from(addr), bytes, f64::from(t1));
-        let b = d2.read(u64::from(addr), bytes, f64::from(t1 + dt));
-        prop_assert!(b >= a);
+        let a = d1.read(addr, bytes, t1);
+        let b = d2.read(addr, bytes, t1 + dt);
+        assert!(b >= a);
     }
+}
 
-    /// The MAI never issues more DRAM transactions than block requests,
-    /// and coalescing strictly reduces traffic for overlapping requests.
-    #[test]
-    fn mai_coalescing_reduces_traffic(
-        offsets in proptest::collection::vec(0u64..256, 2..50)
-    ) {
+/// The MAI never issues more DRAM transactions than block requests, and
+/// coalescing strictly reduces traffic for overlapping requests.
+#[test]
+fn mai_coalescing_reduces_traffic() {
+    let mut rng = Rng::new(0x51_0003);
+    for _ in 0..200 {
+        let offsets: Vec<u64> =
+            (0..rng.gen_range_usize(2, 50)).map(|_| rng.gen_range_u64(0, 256)).collect();
         let mut mai = Mai::new(MaiConfig::default());
         let mut dram = Dram::new(DramConfig::default());
         for &off in &offsets {
@@ -56,52 +64,65 @@ proptest! {
         let stats = mai.stats();
         // Requests are counted at block granularity: an 8 B read can
         // straddle two 32 B blocks.
-        prop_assert!(stats.requests >= offsets.len() as u64);
-        prop_assert!(stats.requests <= 2 * offsets.len() as u64);
-        prop_assert_eq!(dram.reads() + stats.coalesced, stats.requests);
+        assert!(stats.requests >= offsets.len() as u64);
+        assert!(stats.requests <= 2 * offsets.len() as u64);
+        assert_eq!(dram.reads() + stats.coalesced, stats.requests);
         // 256+8 B span = at most 9 distinct 32 B blocks.
-        prop_assert!(dram.reads() <= 9);
+        assert!(dram.reads() <= 9);
     }
+}
 
-    /// Cache miss rates stay in [0, 1] and hits+misses equals accesses.
-    #[test]
-    fn cache_rates_are_probabilities(
-        addrs in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..300)
-    ) {
+/// Cache miss rates stay in [0, 1] and hits+misses equals accesses.
+#[test]
+fn cache_rates_are_probabilities() {
+    let mut rng = Rng::new(0x51_0004);
+    for _ in 0..50 {
+        let addrs: Vec<(u64, bool)> = (0..rng.gen_range_usize(1, 300))
+            .map(|_| (rng.next_u64() & 0xffff_ffff, rng.gen_bool(0.5)))
+            .collect();
         let mut h = Hierarchy::i7_7820x();
         for &(addr, write) in &addrs {
-            h.access(u64::from(addr), write);
+            h.access(addr, write);
         }
         for rate in [h.l1.miss_rate(), h.l2.miss_rate(), h.llc_miss_rate()] {
-            prop_assert!((0.0..=1.0).contains(&rate));
+            assert!((0.0..=1.0).contains(&rate));
         }
-        prop_assert_eq!(h.l1.hits() + h.l1.misses(), addrs.len() as u64);
+        assert_eq!(h.l1.hits() + h.l1.misses(), addrs.len() as u64);
     }
+}
 
-    /// A reorder buffer's outputs are monotone regardless of input order.
-    #[test]
-    fn reorder_buffer_is_monotone(times in proptest::collection::vec(0u32..1_000_000, 1..100)) {
+/// A reorder buffer's outputs are monotone regardless of input order.
+#[test]
+fn reorder_buffer_is_monotone() {
+    let mut rng = Rng::new(0x51_0005);
+    for _ in 0..100 {
         let mut rob = ReorderBuffer::new();
         let mut last = 0.0f64;
-        for &t in &times {
-            let out = rob.deliver(f64::from(t));
-            prop_assert!(out >= last);
-            prop_assert!(out >= f64::from(t));
+        for _ in 0..rng.gen_range_usize(1, 100) {
+            let t = rng.gen_range_f64(0.0, 1_000_000.0);
+            let out = rob.deliver(t);
+            assert!(out >= last);
+            assert!(out >= t);
             last = out;
         }
     }
+}
 
-    /// TLB hit/miss accounting is exact and repeated pages always hit
-    /// within capacity.
-    #[test]
-    fn tlb_accounting(pages in proptest::collection::vec(0u64..64, 1..200)) {
+/// TLB hit/miss accounting is exact and repeated pages always hit within
+/// capacity.
+#[test]
+fn tlb_accounting() {
+    let mut rng = Rng::new(0x51_0006);
+    for _ in 0..100 {
+        let pages: Vec<u64> =
+            (0..rng.gen_range_usize(1, 200)).map(|_| rng.gen_range_u64(0, 64)).collect();
         let mut tlb = Tlb::default();
         for &p in &pages {
             tlb.translate(p << 30);
         }
         let distinct: std::collections::HashSet<_> = pages.iter().collect();
         // 64 distinct 1 GB pages fit in 128 entries: misses == distinct.
-        prop_assert_eq!(tlb.misses(), distinct.len() as u64);
-        prop_assert_eq!(tlb.hits() + tlb.misses(), pages.len() as u64);
+        assert_eq!(tlb.misses(), distinct.len() as u64);
+        assert_eq!(tlb.hits() + tlb.misses(), pages.len() as u64);
     }
 }

@@ -20,9 +20,8 @@
 //! implemented endpoints (Java S/D at 1×, Kryo-manual as the fastest
 //! software library), so the geomean shape is anchored, not free.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sdheap::builder::Init;
+use sdheap::rng::Rng;
 use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
 
 /// Builds the JSBS media-content object graph.
@@ -174,7 +173,7 @@ pub struct LibraryProfile {
 /// The 88-library catalog. `Implemented` entries have factor 0 — the
 /// harness substitutes real measurements for them.
 pub fn catalog() -> Vec<LibraryProfile> {
-    let mut rng = StdRng::seed_from_u64(0x4A5B5);
+    let mut rng = Rng::new(0x4A5B5);
     let mut out = vec![
         LibraryProfile {
             name: "java-built-in".into(),
@@ -236,9 +235,9 @@ pub fn catalog() -> Vec<LibraryProfile> {
             out.push(LibraryProfile {
                 name: format!("{base}-{i}"),
                 class: *class,
-                ser_rel: rng.gen_range(ser.0..ser.1),
-                de_rel: rng.gen_range(de.0..de.1),
-                size_rel: rng.gen_range(size.0..size.1),
+                ser_rel: rng.gen_range_f64(ser.0, ser.1),
+                de_rel: rng.gen_range_f64(de.0, de.1),
+                size_rel: rng.gen_range_f64(size.0, size.1),
             });
         }
     }

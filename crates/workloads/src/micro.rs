@@ -7,9 +7,8 @@
 //! insensitive to this), and `Tiny` for tests. The scale in use is always
 //! printed by the experiment harness.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sdheap::builder::Init;
+use sdheap::rng::Rng;
 use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
 
 /// The six Table II configurations.
@@ -175,7 +174,7 @@ fn build_graph(nodes: usize, edges: usize) -> (Heap, KlassRegistry, Addr) {
         vec![FieldKind::Value(ValueType::Long), FieldKind::Ref],
     );
     let adj = b.array_klass("GraphNode[]", FieldKind::Ref);
-    let mut rng = StdRng::seed_from_u64(0xCE7EA1);
+    let mut rng = Rng::new(0xCE7EA1);
 
     let mut addrs = Vec::with_capacity(nodes);
     for i in 0..nodes {
@@ -187,7 +186,7 @@ fn build_graph(nodes: usize, edges: usize) -> (Heap, KlassRegistry, Addr) {
             .ref_array(adj, &vec![Addr::NULL; edges])
             .expect("sized");
         for slot in 0..edges {
-            let t = addrs[rng.gen_range(0..nodes)];
+            let t = addrs[rng.gen_range_usize(0, nodes)];
             b.set_array_ref(arr, slot, t);
         }
         b.link(a, 1, arr);

@@ -23,9 +23,8 @@
 
 pub mod phases;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sdheap::builder::Init;
+use sdheap::rng::Rng;
 use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
 
 /// The six evaluated applications.
@@ -124,7 +123,7 @@ impl SparkApp {
     pub fn build(&self, scale: SparkScale) -> SparkDataset {
         let target = self.target_bytes(scale);
         let mut b = GraphBuilder::new(target * 6 + (1 << 20));
-        let mut rng = StdRng::seed_from_u64(0x5EED ^ (*self as u64) << 8);
+        let mut rng = Rng::new(0x5EED ^ (*self as u64) << 8);
         let batch_klass = b.array_klass("Object[]", FieldKind::Ref);
 
         let mut batches = Vec::new();
@@ -149,7 +148,7 @@ impl SparkApp {
     }
 
     /// Builds one record; returns (root, approx bytes).
-    fn build_record(&self, b: &mut GraphBuilder, rng: &mut StdRng) -> (Addr, u64) {
+    fn build_record(&self, b: &mut GraphBuilder, rng: &mut Rng) -> (Addr, u64) {
         match self {
             SparkApp::NWeight => {
                 // Adjacency record: { id, edges: Edge[] }, Edge { dst, w }.
@@ -166,16 +165,16 @@ impl SparkApp {
                     "Vertex",
                     vec![FieldKind::Value(ValueType::Long), FieldKind::Ref],
                 );
-                let n_edges = rng.gen_range(8..32);
+                let n_edges = rng.gen_range_usize(8, 32);
                 let mut edges = Vec::with_capacity(n_edges);
                 for _ in 0..n_edges {
                     edges.push(
                         b.object(
                             edge,
                             &[
-                                Init::Val(rng.gen_range(0..1_000_000)),
-                                Init::Val(f64::to_bits(rng.gen_range(0.0..1.0))),
-                                Init::Val(rng.gen()),
+                                Init::Val(rng.gen_range_u64(0, 1_000_000)),
+                                Init::Val(f64::to_bits(rng.gen_range_f64(0.0, 1.0))),
+                                Init::Val(rng.next_u64()),
                             ],
                         )
                         .expect("sized"),
@@ -183,7 +182,7 @@ impl SparkApp {
                 }
                 let arr = b.ref_array(edges_arr, &edges).expect("sized");
                 let v = b
-                    .object(vertex, &[Init::Val(rng.gen_range(0..1_000_000)), Init::Ref(arr)])
+                    .object(vertex, &[Init::Val(rng.gen_range_u64(0, 1_000_000)), Init::Ref(arr)])
                     .expect("sized");
                 (v, (n_edges as u64) * 48 + (n_edges as u64 + 4) * 8 + 40)
             }
@@ -195,13 +194,16 @@ impl SparkApp {
                     vec![FieldKind::Value(ValueType::Double), FieldKind::Ref],
                 );
                 let feats: Vec<u64> = (0..dims)
-                    .map(|_| f64::to_bits(rng.gen_range(-1.0..1.0)))
+                    .map(|_| f64::to_bits(rng.gen_range_f64(-1.0, 1.0)))
                     .collect();
                 let arr = b.value_array(doubles, &feats).expect("sized");
                 let p = b
                     .object(
                         point,
-                        &[Init::Val(f64::to_bits(if rng.gen_bool(0.5) { 1.0 } else { -1.0 })), Init::Ref(arr)],
+                        &[
+                            Init::Val(f64::to_bits(if rng.gen_bool(0.5) { 1.0 } else { -1.0 })),
+                            Init::Ref(arr),
+                        ],
                     )
                     .expect("sized");
                 (p, dims as u64 * 8 + 32 + 40)
@@ -217,15 +219,20 @@ impl SparkApp {
                         FieldKind::Ref,                      // values
                     ],
                 );
-                let k = rng.gen_range(8..24);
-                let idx: Vec<u64> = (0..k).map(|_| rng.gen_range(0..10_000u64)).collect();
-                let vals: Vec<u64> = (0..k).map(|_| f64::to_bits(rng.gen_range(0.0..5.0))).collect();
+                let k = rng.gen_range_usize(8, 24);
+                let idx: Vec<u64> = (0..k).map(|_| rng.gen_range_u64(0, 10_000)).collect();
+                let vals: Vec<u64> =
+                    (0..k).map(|_| f64::to_bits(rng.gen_range_f64(0.0, 5.0))).collect();
                 let ia = b.value_array(ints, &idx).expect("sized");
                 let va = b.value_array(doubles, &vals).expect("sized");
                 let s = b
                     .object(
                         sparse,
-                        &[Init::Val(f64::to_bits(rng.gen_range(0.0..20.0))), Init::Ref(ia), Init::Ref(va)],
+                        &[
+                            Init::Val(f64::to_bits(rng.gen_range_f64(0.0, 20.0))),
+                            Init::Ref(ia),
+                            Init::Ref(va),
+                        ],
                     )
                     .expect("sized");
                 (s, k as u64 * 16 + 64 + 48)
@@ -235,8 +242,8 @@ impl SparkApp {
                 // (as HotSpot packs byte[] backing stores): 2 + 12 words.
                 let words = b.array_klass("long[]", FieldKind::Value(ValueType::Long));
                 let rec = b.klass("Record", vec![FieldKind::Ref, FieldKind::Ref]);
-                let key: Vec<u64> = (0..2).map(|_| rng.gen()).collect();
-                let val: Vec<u64> = (0..12).map(|_| rng.gen()).collect();
+                let key: Vec<u64> = (0..2).map(|_| rng.next_u64()).collect();
+                let val: Vec<u64> = (0..12).map(|_| rng.next_u64()).collect();
                 let ka = b.value_array(words, &key).expect("sized");
                 let va = b.value_array(words, &val).expect("sized");
                 let r = b
@@ -255,11 +262,11 @@ impl SparkApp {
                 );
                 let rank = 16;
                 let factors: Vec<u64> = (0..rank)
-                    .map(|_| f64::to_bits(rng.gen_range(-1.0..1.0)))
+                    .map(|_| f64::to_bits(rng.gen_range_f64(-1.0, 1.0)))
                     .collect();
                 let arr = b.value_array(doubles, &factors).expect("sized");
                 let r = b
-                    .object(fv, &[Init::Val(rng.gen_range(0..100_000)), Init::Ref(arr)])
+                    .object(fv, &[Init::Val(rng.gen_range_u64(0, 100_000)), Init::Ref(arr)])
                     .expect("sized");
                 (r, rank as u64 * 8 + 32 + 40)
             }

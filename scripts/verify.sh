@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the perf smoke run. Fully offline: the
+# workspace has no external dependencies, so this works with no
+# crates.io access (pass CARGO_FLAGS=--offline to enforce it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:-}
+
+echo "== tier-1: build =="
+cargo build --release $CARGO_FLAGS
+
+echo "== tier-1: tests (root package) =="
+cargo test -q $CARGO_FLAGS
+
+echo "== full workspace tests =="
+cargo test -q --workspace $CARGO_FLAGS
+
+echo "== perf smoke =="
+cargo run --release -p cereal-bench --bin perf $CARGO_FLAGS -- --smoke
+
+echo "verify: OK"

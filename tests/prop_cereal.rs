@@ -1,26 +1,39 @@
-//! Property-based integration tests for the Cereal accelerator: random
-//! object graphs must round-trip exactly (identity hashes included), and
-//! packing invariants must hold on the produced streams.
+//! Seeded randomized integration tests for the Cereal accelerator:
+//! random object graphs must round-trip exactly (identity hashes
+//! included), and packing invariants must hold on the produced streams.
+//!
+//! Formerly proptest properties; now deterministic loops over the
+//! in-repo PRNG so the suite runs offline.
 
 use cereal_repro::accel::CerealSerializer;
 use cereal_repro::baselines::{NullSink, Serializer};
 use cereal_repro::heap::builder::Init;
+use cereal_repro::heap::rng::Rng;
 use cereal_repro::heap::{
     isomorphic, Addr, FieldKind, GraphBuilder, GraphStats, Heap, KlassRegistry, ValueType,
 };
-use proptest::prelude::*;
 
-#[derive(Clone, Debug)]
 struct GraphRecipe {
     nodes: Vec<(u8, u64, [u8; 3])>,
 }
 
-fn recipe_strategy() -> impl Strategy<Value = GraphRecipe> {
-    proptest::collection::vec(
-        (any::<u8>(), any::<u64>(), [any::<u8>(), any::<u8>(), any::<u8>()]),
-        1..40,
-    )
-    .prop_map(|nodes| GraphRecipe { nodes })
+fn random_recipe(rng: &mut Rng) -> GraphRecipe {
+    let n = rng.gen_range_usize(1, 40);
+    GraphRecipe {
+        nodes: (0..n)
+            .map(|_| {
+                (
+                    rng.next_u64() as u8,
+                    rng.next_u64(),
+                    [
+                        rng.next_u64() as u8,
+                        rng.next_u64() as u8,
+                        rng.next_u64() as u8,
+                    ],
+                )
+            })
+            .collect(),
+    }
 }
 
 fn build(recipe: &GraphRecipe) -> (Heap, KlassRegistry, Addr) {
@@ -67,51 +80,55 @@ fn build(recipe: &GraphRecipe) -> (Heap, KlassRegistry, Addr) {
     (heap, reg, root)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// The accelerator round-trips arbitrary graphs with *strict*
-    /// isomorphism — identity hashes survive header copies.
-    #[test]
-    fn cereal_roundtrips_random_graphs(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
+/// The accelerator round-trips arbitrary graphs with *strict*
+/// isomorphism — identity hashes survive header copies.
+#[test]
+fn cereal_roundtrips_random_graphs() {
+    let mut rng = Rng::new(0xCE_0001);
+    for i in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
         let ser = CerealSerializer::new();
         let bytes = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
         let mut dst = Heap::with_base(Addr(0x40_0000_0000), heap.capacity_bytes());
         let new_root = ser.deserialize(&bytes, &reg, &mut dst, &mut NullSink).expect("ok");
-        prop_assert!(isomorphic(&heap, &reg, root, &dst, new_root));
+        assert!(isomorphic(&heap, &reg, root, &dst, new_root), "case {i}");
     }
+}
 
-    /// Serializing twice (new serialization counters) yields the exact
-    /// same stream — the visited-counter scheme leaves no residue.
-    #[test]
-    fn cereal_is_deterministic_across_counters(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
+/// Serializing twice (new serialization counters) yields the exact same
+/// stream — the visited-counter scheme leaves no residue.
+#[test]
+fn cereal_is_deterministic_across_counters() {
+    let mut rng = Rng::new(0xCE_0002);
+    for i in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
         let ser = CerealSerializer::new();
         let a = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
         let b = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {i}");
     }
+}
 
-    /// Stream accounting invariants: image size = total reachable object
-    /// bytes; one bitmap per object; one packed reference per reachable
-    /// reference slot.
-    #[test]
-    fn stream_accounting_matches_graph_stats(recipe in recipe_strategy()) {
-        let (mut heap, reg, root) = build(&recipe);
+/// Stream accounting invariants: image size = total reachable object
+/// bytes; one bitmap per object; one packed reference per reachable
+/// reference slot.
+#[test]
+fn stream_accounting_matches_graph_stats() {
+    let mut rng = Rng::new(0xCE_0003);
+    for i in 0..CASES {
+        let (mut heap, reg, root) = build(&random_recipe(&mut rng));
         let ser = CerealSerializer::new();
         let bytes = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
         let stream = sdformat::CerealStream::from_bytes(&bytes).expect("decodable");
         let stats = GraphStats::measure(&heap, &reg, root);
-        prop_assert_eq!(u64::from(stream.total_object_bytes), stats.total_bytes);
-        prop_assert_eq!(stream.object_count as usize, stats.objects);
-        prop_assert_eq!(stream.bitmaps.count, stats.objects);
-        prop_assert_eq!(stream.refs.count, stats.ref_slots);
+        assert_eq!(u64::from(stream.total_object_bytes), stats.total_bytes, "case {i}");
+        assert_eq!(stream.object_count as usize, stats.objects);
+        assert_eq!(stream.bitmaps.count, stats.objects);
+        assert_eq!(stream.refs.count, stats.ref_slots);
         // Value array covers every non-reference word except the
         // runtime-private extension word (one per object, regenerated).
-        prop_assert_eq!(
-            stream.value_array.len(),
-            (stats.value_words - stats.objects) * 8
-        );
+        assert_eq!(stream.value_array.len(), (stats.value_words - stats.objects) * 8);
     }
 }

@@ -2,12 +2,15 @@
 //! any deserializer — corrupt input yields `Err` (or, where the
 //! corruption lands in payload bytes, a well-formed but different
 //! graph), never a crash.
+//!
+//! Formerly proptest properties; now deterministic seeded loops so the
+//! suite runs offline.
 
 use cereal_repro::accel::CerealSerializer;
 use cereal_repro::baselines::{JavaSd, JsonLike, Kryo, NullSink, ProtoLike, Serializer, Skyway};
 use cereal_repro::heap::builder::Init;
+use cereal_repro::heap::rng::Rng;
 use cereal_repro::heap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
-use proptest::prelude::*;
 
 fn sample_graph() -> (Heap, KlassRegistry, Addr) {
     let mut b = GraphBuilder::new(1 << 18);
@@ -40,42 +43,54 @@ fn corrupt_and_decode(ser: &dyn Serializer, flips: &[(u16, u8)]) {
     let _ = ser.deserialize(&bytes, &reg, &mut dst, &mut NullSink);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn javasd_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
-        corrupt_and_decode(&JavaSd::new(), &flips);
+fn corruption_cases(seed: u64, ser: &dyn Serializer) {
+    let mut rng = Rng::new(seed);
+    for _ in 0..CASES {
+        let flips: Vec<(u16, u8)> = (0..rng.gen_range_usize(1, 8))
+            .map(|_| (rng.next_u64() as u16, rng.next_u64() as u8))
+            .collect();
+        corrupt_and_decode(ser, &flips);
     }
+}
 
-    #[test]
-    fn kryo_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
-        corrupt_and_decode(&Kryo::new(), &flips);
-    }
+#[test]
+fn javasd_survives_corruption() {
+    corruption_cases(0xC0_0001, &JavaSd::new());
+}
 
-    #[test]
-    fn skyway_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
-        corrupt_and_decode(&Skyway::new(), &flips);
-    }
+#[test]
+fn kryo_survives_corruption() {
+    corruption_cases(0xC0_0002, &Kryo::new());
+}
 
-    #[test]
-    fn cereal_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
-        corrupt_and_decode(&CerealSerializer::new(), &flips);
-    }
+#[test]
+fn skyway_survives_corruption() {
+    corruption_cases(0xC0_0003, &Skyway::new());
+}
 
-    #[test]
-    fn jsonlike_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
-        corrupt_and_decode(&JsonLike::new(), &flips);
-    }
+#[test]
+fn cereal_survives_corruption() {
+    corruption_cases(0xC0_0004, &CerealSerializer::new());
+}
 
-    #[test]
-    fn protolike_survives_corruption(flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)) {
-        corrupt_and_decode(&ProtoLike::new(), &flips);
-    }
+#[test]
+fn jsonlike_survives_corruption() {
+    corruption_cases(0xC0_0005, &JsonLike::new());
+}
 
-    /// Truncation at any point must be rejected or decode cleanly.
-    #[test]
-    fn all_survive_truncation(cut in any::<u16>()) {
+#[test]
+fn protolike_survives_corruption() {
+    corruption_cases(0xC0_0006, &ProtoLike::new());
+}
+
+/// Truncation at any point must be rejected or decode cleanly.
+#[test]
+fn all_survive_truncation() {
+    let mut rng = Rng::new(0xC0_0007);
+    for _ in 0..CASES {
+        let cut_seed = rng.next_u64() as u16;
         for ser in [
             &JavaSd::new() as &dyn Serializer,
             &Kryo::new(),
@@ -86,7 +101,7 @@ proptest! {
         ] {
             let (mut heap, reg, root) = sample_graph();
             let bytes = ser.serialize(&mut heap, &reg, root, &mut NullSink).expect("ok");
-            let cut = (cut as usize) % bytes.len();
+            let cut = (cut_seed as usize) % bytes.len();
             let mut dst = Heap::with_base(Addr(0x40_0000_0000), 1 << 20);
             let _ = ser.deserialize(&bytes[..cut], &reg, &mut dst, &mut NullSink);
         }
