@@ -163,6 +163,67 @@ fn kernel_bench(n: usize, reps: usize) -> KernelPerf {
     }
 }
 
+/// The pre-optimization end-map scan: bit-at-a-time `get` probing,
+/// semantically identical to `EndMap::next_set`.
+fn naive_next_set(map: &EndMap, from: usize, limit: usize) -> Option<usize> {
+    let limit = limit.min(map.len());
+    (from..limit).find(|&i| map.get(i))
+}
+
+struct EndMapPerf {
+    bench: &'static str,
+    payload_bytes: usize,
+    items: usize,
+    reps: usize,
+    naive_ms: f64,
+    fast_ms: f64,
+}
+
+impl EndMapPerf {
+    fn speedup(&self) -> f64 {
+        self.naive_ms / self.fast_ms
+    }
+}
+
+/// End-map item scan over a dense-graph accelerator stream — the regime
+/// where one layout bitmap spans hundreds of payload bytes, so
+/// `next_set` walks long runs of clear bits. Splits the whole bitmap
+/// section into items with the word-at-a-time scan vs the bit-at-a-time
+/// reference, with identical item boundaries asserted.
+fn endmap_bench(scale: Scale, reps: usize) -> EndMapPerf {
+    let bench = MicroBench::GraphDense;
+    let (mut heap, reg, root) = bench.build(scale);
+    let mut accel = cereal::Accelerator::new(CerealConfig::paper());
+    accel.register_all(&reg).expect("register classes");
+    let bytes = accel.serialize(&mut heap, &reg, root).expect("serialize").bytes;
+    let stream = sdformat::stream::CerealStream::from_bytes(&bytes).expect("well-formed stream");
+    let map = stream.bitmaps.end_map;
+
+    let scan = |next: &dyn Fn(usize, usize) -> Option<usize>| {
+        let mut pos = 0usize;
+        let mut items = 0usize;
+        while let Some(end) = next(pos, map.len()) {
+            items += 1;
+            pos = end + 1;
+        }
+        items
+    };
+    let (naive_ms, naive_items) =
+        best_of(reps, || scan(&|f, l| naive_next_set(black_box(&map), f, l)));
+    let (fast_ms, fast_items) = best_of(reps, || scan(&|f, l| black_box(&map).next_set(f, l)));
+    assert_eq!(naive_items, fast_items, "scans must agree on item boundaries");
+    assert_eq!(fast_items, map.item_count(), "scan must find every item");
+
+    EndMapPerf {
+        bench: bench.name(),
+        payload_bytes: map.len(),
+        items: fast_items,
+        reps,
+        naive_ms,
+        fast_ms,
+    }
+}
+
 struct SerPerf {
     name: String,
     iters: usize,
@@ -303,6 +364,18 @@ fn main() {
         kernel.unpack_speedup()
     );
 
+    let endmap_scale = if smoke { Scale::Tiny } else { Scale::Scaled };
+    eprintln!("end-map item scan (Graph-dense, best of {kernel_reps})...");
+    let endmap = endmap_bench(endmap_scale, kernel_reps);
+    eprintln!(
+        "  {} items over {} B: naive {:.3} ms / fast {:.3} ms = {:.1}x",
+        endmap.items,
+        endmap.payload_bytes,
+        endmap.naive_ms,
+        endmap.fast_ms,
+        endmap.speedup()
+    );
+
     eprintln!("serializer round trips ({ser_iters} iterations each)...");
     let sers = serializer_roundtrips(ser_iters);
     for s in &sers {
@@ -352,6 +425,11 @@ fn main() {
          \x20   \"naive_unpack_ms\": {nu:.3}, \"fast_unpack_ms\": {fu:.3}, \"unpack_speedup\": {us:.2},\n\
          \x20   \"streams_identical\": true\n\
          \x20 }},\n\
+         \x20 \"endmap_scan\": {{\n\
+         \x20   \"bench\": \"{eb}\", \"payload_bytes\": {epb}, \"items\": {ei}, \"reps\": {er},\n\
+         \x20   \"naive_ms\": {en:.3}, \"fast_ms\": {ef:.3}, \"speedup\": {es:.2},\n\
+         \x20   \"boundaries_identical\": true\n\
+         \x20 }},\n\
          \x20 \"serializers\": [\n{sj}\n\x20 ],\n\
          \x20 \"accel_sim\": {{\n\
          \x20   \"bench\": \"{ab}\", \"wall_ms\": {aw:.3},\n\
@@ -370,6 +448,13 @@ fn main() {
         nu = kernel.naive_unpack_ms,
         fu = kernel.fast_unpack_ms,
         us = kernel.unpack_speedup(),
+        eb = endmap.bench,
+        epb = endmap.payload_bytes,
+        ei = endmap.items,
+        er = endmap.reps,
+        en = endmap.naive_ms,
+        ef = endmap.fast_ms,
+        es = endmap.speedup(),
         sj = sers_json,
         ab = accel.bench,
         aw = accel.wall_ms,

@@ -30,7 +30,7 @@ use sim::{Dram, Mai, Tlb};
 ///
 /// Issues 64 B fetches as far ahead as its internal buffer allows and
 /// answers "when are the next `n` bytes available?" for its consumer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct StreamPrefetcher {
     base: u64,
     total: u64,
@@ -47,15 +47,22 @@ impl StreamPrefetcher {
     /// A prefetcher over `[base, base+total)` with `buffer` bytes of
     /// run-ahead.
     pub fn new(base: u64, total: u64, buffer: u64) -> Self {
-        StreamPrefetcher {
-            base,
-            total,
-            fetched: 0,
-            consumed: 0,
-            buffer: buffer.max(64),
-            chunks: std::collections::VecDeque::new(),
-            consumed_ready: 0.0,
-        }
+        let mut p = StreamPrefetcher::default();
+        p.reset(base, total, buffer);
+        p
+    }
+
+    /// Re-arms the prefetcher for a new stream section, keeping the
+    /// chunk-queue allocation. Timing state is fully cleared; only the
+    /// backing storage is reused across requests.
+    pub fn reset(&mut self, base: u64, total: u64, buffer: u64) {
+        self.base = base;
+        self.total = total;
+        self.fetched = 0;
+        self.consumed = 0;
+        self.buffer = buffer.max(64);
+        self.chunks.clear();
+        self.consumed_ready = 0.0;
     }
 
     /// Issues fetches allowed by the buffer at time `now`.
@@ -102,6 +109,15 @@ impl StreamPrefetcher {
 pub struct DeserializationUnit {
     mai: Mai,
     tlb: Tlb,
+    /// Per-request structures reused across requests (the SU's
+    /// `scratch_commit`/`scratch_header_done` treatment): the
+    /// reconstructor-pool free times and the three stream prefetchers
+    /// with their chunk queues. Purely an allocation-churn optimization —
+    /// timing is unaffected.
+    scratch_recon_free: Vec<f64>,
+    values: StreamPrefetcher,
+    refs: StreamPrefetcher,
+    bitmaps: StreamPrefetcher,
 }
 
 impl DeserializationUnit {
@@ -110,6 +126,7 @@ impl DeserializationUnit {
         DeserializationUnit {
             mai: Mai::new(cfg.mai),
             tlb: Tlb::new(cfg.tlb),
+            ..DeserializationUnit::default()
         }
     }
 
@@ -141,13 +158,17 @@ impl DeserializationUnit {
         }
 
         // Section layout within the input stream (header, then sections).
+        // The prefetchers are re-armed in place, reusing their chunk
+        // queues across requests.
         let v_base = IN_STREAM_BASE + 64;
         let r_base = v_base + workload.value_bytes;
         let b_base = r_base + workload.ref_bytes;
-        let mut values = StreamPrefetcher::new(v_base, workload.value_bytes, cfg.prefetch_buffer_bytes);
-        let mut refs = StreamPrefetcher::new(r_base, workload.ref_bytes, cfg.prefetch_buffer_bytes);
-        let mut bitmaps =
-            StreamPrefetcher::new(b_base, workload.bitmap_bytes, cfg.prefetch_buffer_bytes);
+        self.values
+            .reset(v_base, workload.value_bytes, cfg.prefetch_buffer_bytes);
+        self.refs
+            .reset(r_base, workload.ref_bytes, cfg.prefetch_buffer_bytes);
+        self.bitmaps
+            .reset(b_base, workload.bitmap_bytes, cfg.prefetch_buffer_bytes);
 
         // Average packed-reference item size (the loader consumes whole
         // items; we apportion bytes uniformly).
@@ -157,8 +178,11 @@ impl DeserializationUnit {
             workload.ref_bytes as f64 / workload.ref_count as f64
         };
 
-        // Reconstructor pool: next-free times.
-        let mut recon_free = vec![start_ns; nrecon];
+        // Reconstructor pool: next-free times, in a buffer reused across
+        // requests.
+        let mut recon_free = std::mem::take(&mut self.scratch_recon_free);
+        recon_free.clear();
+        recon_free.resize(nrecon, start_ns);
         let mut dispatch_tail = start_ns;
         let mut end = start_ns;
         let mut ref_bytes_consumed = 0.0f64;
@@ -167,21 +191,21 @@ impl DeserializationUnit {
         for (bi, counts) in workload.per_block.iter().enumerate() {
             let now = dispatch_tail;
             // Layout manager: 1 bitmap byte covers one 64 B block.
-            let bm_ready = bitmaps.consume(&mut self.mai, dram, 1, now);
+            let bm_ready = self.bitmaps.consume(&mut self.mai, dram, 1, now);
             reads += 1;
             // Value loader: `values` words of 8 B. Under header stripping
             // mark words are regenerated in the reconstructor rather than
             // fetched, so consumption is clamped to the stream's content.
-            let v_take =
-                (u64::from(counts.values) * 8).min(workload.value_bytes - values.consumed());
-            let v_ready = values.consume(&mut self.mai, dram, v_take, now);
+            let v_take = (u64::from(counts.values) * 8)
+                .min(workload.value_bytes - self.values.consumed());
+            let v_ready = self.values.consume(&mut self.mai, dram, v_take, now);
             // Reference loader: whole packed items.
             ref_items_consumed += u64::from(counts.refs);
             let target = ref_items_consumed as f64 * ref_bytes_per_item;
             let take = (target - ref_bytes_consumed).max(0.0).round() as u64;
-            let take = take.min(workload.ref_bytes.saturating_sub(refs.consumed));
+            let take = take.min(workload.ref_bytes.saturating_sub(self.refs.consumed));
             ref_bytes_consumed += take as f64;
-            let r_ready = refs.consume(&mut self.mai, dram, take, now);
+            let r_ready = self.refs.consume(&mut self.mai, dram, take, now);
 
             // Block manager dispatch: serial, one block per dispatch slot,
             // once all three inputs are buffered.
@@ -206,6 +230,7 @@ impl DeserializationUnit {
             end = end.max(wdone);
         }
 
+        self.scratch_recon_free = recon_free;
         let moved = dram.total_bytes() - bytes_before;
         let txns = (reads + writes).max(1);
         UnitRun {

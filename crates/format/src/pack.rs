@@ -90,26 +90,48 @@ impl EndMap {
         count as usize
     }
 
-    /// Index of the first set bit in `[from, min(limit, len))`, scanning
-    /// byte-at-a-time.
+    /// Index of the first set bit in `[from, min(limit, len))`.
+    ///
+    /// Scans a u64 word (8 end-map bytes, i.e. 64 payload bytes) at a
+    /// time with `leading_zeros`, so items spanning many bytes — the
+    /// dense-graph regime, where one layout bitmap covers hundreds of
+    /// payload bytes — cost one word op per 64 bytes instead of a
+    /// byte-at-a-time loop (`--bin perf` records the before/after).
     pub fn next_set(&self, from: usize, limit: usize) -> Option<usize> {
         let limit = limit.min(self.len);
         if from >= limit {
             return None;
         }
+        // Bits past `len` inside the last byte are zero by construction
+        // (`push`/`push_run` only ever set bits below `len`), so any set
+        // bit found below is a real end mark; only `limit` needs checking.
+        let end_byte = limit.div_ceil(8);
         let mut byte = from / 8;
-        let mut cur = self.bits[byte] & (0xFF >> (from % 8));
-        loop {
+        let first = self.bits[byte] & (0xFF >> (from % 8));
+        if first != 0 {
+            let idx = byte * 8 + first.leading_zeros() as usize;
+            return (idx < limit).then_some(idx);
+        }
+        byte += 1;
+        while byte + 8 <= end_byte {
+            let word = u64::from_be_bytes(
+                self.bits[byte..byte + 8].try_into().expect("8-byte slice"),
+            );
+            if word != 0 {
+                let idx = byte * 8 + word.leading_zeros() as usize;
+                return (idx < limit).then_some(idx);
+            }
+            byte += 8;
+        }
+        while byte < end_byte {
+            let cur = self.bits[byte];
             if cur != 0 {
                 let idx = byte * 8 + cur.leading_zeros() as usize;
                 return (idx < limit).then_some(idx);
             }
             byte += 1;
-            if byte * 8 >= limit {
-                return None;
-            }
-            cur = self.bits[byte];
         }
+        None
     }
 
     /// Backing bytes (for size accounting and wire encoding).
@@ -493,6 +515,46 @@ mod tests {
     fn end_map_bounds() {
         let m = EndMap::new();
         let _ = m.get(0);
+    }
+
+    /// Reference next_set: the pre-word-scan byte-at-a-time loop.
+    fn next_set_ref(m: &EndMap, from: usize, limit: usize) -> Option<usize> {
+        let limit = limit.min(m.len());
+        (from..limit).find(|&i| m.get(i))
+    }
+
+    #[test]
+    fn next_set_matches_reference_on_long_runs() {
+        // Dense-graph shape: items spanning many bytes, so the scan
+        // crosses several u64 words between set bits.
+        let mut m = EndMap::new();
+        for run in [1usize, 7, 8, 9, 63, 64, 65, 200, 3, 1000, 1] {
+            m.push_run(run);
+        }
+        for from in 0..m.len() {
+            for limit in [from, from + 1, from + 9, from + 100, m.len(), usize::MAX] {
+                assert_eq!(
+                    m.next_set(from, limit),
+                    next_set_ref(&m, from, limit),
+                    "from {from}, limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_set_word_boundaries() {
+        // A single end bit at every interesting position around the
+        // 8-byte word boundary the fast path reads.
+        for pos in [0usize, 7, 8, 15, 55, 56, 63, 64, 65, 127, 128] {
+            let mut m = EndMap::new();
+            m.push_run(pos + 1); // end bit lands exactly on `pos`
+            assert_eq!(m.next_set(0, usize::MAX), Some(pos), "pos {pos}");
+            assert_eq!(m.next_set(pos, usize::MAX), Some(pos));
+            assert_eq!(m.next_set(pos + 1, usize::MAX), None);
+            assert_eq!(m.next_set(0, pos), None, "limit excludes the bit");
+            assert_eq!(m.next_set(0, pos + 1), Some(pos));
+        }
     }
 
     #[test]

@@ -32,6 +32,19 @@ pub struct GcStats {
     pub reclaimed_bytes: u64,
 }
 
+impl GcStats {
+    /// Simulated stop-the-world pause for this collection, in
+    /// nanoseconds: a copying collector's cost is dominated by moving the
+    /// survivors (~8 B/ns of copy bandwidth) plus a fixed per-object
+    /// overhead for scanning and forwarding (~4 ns). A cost model, not a
+    /// measurement — it lets timeline simulations (the shuffle service's
+    /// GC-pressure mode) charge collections into simulated time on the
+    /// same scale as the CPU and accelerator models.
+    pub fn simulated_cost_ns(&self) -> f64 {
+        self.live_bytes as f64 / 8.0 + self.live_objects as f64 * 4.0
+    }
+}
+
 /// Collects `heap`, keeping everything reachable from `roots`. Returns
 /// the new heap (same base and capacity), the relocated roots in input
 /// order, and collection statistics.

@@ -75,10 +75,14 @@ impl SerCtx<'_> {
 
     fn write_obj(&mut self, root: Addr) {
         // Iterative with an explicit frame stack (deep lists must work).
+        // Like the javasd/kryo/protolike work lists, resumable frames
+        // carry the type information resolved at dispatch — the klass id
+        // for field frames, the element kind for array frames — so a
+        // resume never repeats the `heap.klass_of` + registry lookups.
         enum Frame {
             Open(Addr),
-            Fields { addr: Addr, idx: usize },
-            Elems { addr: Addr, idx: usize },
+            Fields { addr: Addr, idx: usize, id: sdheap::KlassId },
+            Elems { addr: Addr, idx: usize, elem: FieldKind },
             Text(&'static str),
         }
         let mut stack = vec![Frame::Open(root)];
@@ -104,17 +108,17 @@ impl SerCtx<'_> {
                     let k = self.reg.get(kid);
                     self.emit(&format!("{{\"@c\":\"{}\",\"@id\":{id}", k.name()));
                     if k.is_array() {
+                        let elem = self.reg.get(kid).array_elem().expect("array");
                         self.emit(",\"e\":[");
                         stack.push(Frame::Text("]}"));
-                        stack.push(Frame::Elems { addr, idx: 0 });
+                        stack.push(Frame::Elems { addr, idx: 0, elem });
                     } else {
                         stack.push(Frame::Text("}"));
-                        stack.push(Frame::Fields { addr, idx: 0 });
+                        stack.push(Frame::Fields { addr, idx: 0, id: kid });
                     }
                 }
-                Frame::Fields { addr, idx } => {
-                    let kid = self.heap.klass_of(self.reg, addr);
-                    let fields = self.reg.get(kid).fields();
+                Frame::Fields { addr, idx, id } => {
+                    let fields = self.reg.get(id).fields();
                     if idx >= fields.len() {
                         continue;
                     }
@@ -124,8 +128,9 @@ impl SerCtx<'_> {
                         .load_word_dep(addr.add_words((HEADER_WORDS + idx) as u64).get());
                     let word = self.heap.field(addr, idx);
                     self.emit(&format!(",\"{}\":", f.name));
-                    stack.push(Frame::Fields { addr, idx: idx + 1 });
-                    match f.kind {
+                    let kind = f.kind;
+                    stack.push(Frame::Fields { addr, idx: idx + 1, id });
+                    match kind {
                         FieldKind::Value(vt) => {
                             let text = fmt_value(vt, word);
                             self.emit(&text);
@@ -133,7 +138,7 @@ impl SerCtx<'_> {
                         FieldKind::Ref => stack.push(Frame::Open(Addr(word))),
                     }
                 }
-                Frame::Elems { addr, idx } => {
+                Frame::Elems { addr, idx, elem } => {
                     let len = self.heap.array_len(addr);
                     if idx >= len {
                         continue;
@@ -144,9 +149,8 @@ impl SerCtx<'_> {
                     self.tracer
                         .load_word(addr.add_words((HEADER_WORDS + 1 + idx) as u64).get());
                     let word = self.heap.array_elem(addr, idx);
-                    let kid = self.heap.klass_of(self.reg, addr);
-                    stack.push(Frame::Elems { addr, idx: idx + 1 });
-                    match self.reg.get(kid).array_elem().expect("array") {
+                    stack.push(Frame::Elems { addr, idx: idx + 1, elem });
+                    match elem {
                         FieldKind::Value(vt) => {
                             let text = fmt_value(vt, word);
                             self.emit(&text);

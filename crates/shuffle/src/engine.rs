@@ -1,0 +1,146 @@
+//! Per-executor serialization engines.
+//!
+//! Every executor owns one engine: a software [`Serializer`] timed on a
+//! fresh [`sim::Cpu`] host-core model per request (the harness's
+//! convention), or a private Cereal [`Accelerator`] whose unit models
+//! time and schedule requests internally.
+
+use cereal::Accelerator;
+use sdheap::{Addr, Heap, KlassRegistry};
+use serializers::{JavaSd, JsonLike, Kryo, ProtoLike, Serializer, Skyway};
+use sim::Cpu;
+
+/// Destination-heap base for reconstruction (clear of every source).
+pub(crate) const DST_BASE: u64 = 0x40_0000_0000;
+
+/// A serialization backend the shuffle can run on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Java built-in serialization model.
+    Java,
+    /// Kryo model.
+    Kryo,
+    /// Skyway model.
+    Skyway,
+    /// JSON-text model.
+    JsonLike,
+    /// Protobuf-like model.
+    ProtoLike,
+    /// The Cereal accelerator (Table I configuration).
+    Cereal,
+}
+
+impl Backend {
+    /// All backends, software baselines first.
+    pub fn all() -> [Backend; 6] {
+        [
+            Backend::Java,
+            Backend::Kryo,
+            Backend::Skyway,
+            Backend::JsonLike,
+            Backend::ProtoLike,
+            Backend::Cereal,
+        ]
+    }
+
+    /// Display name (matching the figure harness).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Java => "Java",
+            Backend::Kryo => "Kryo",
+            Backend::Skyway => "Skyway",
+            Backend::JsonLike => "JsonLike",
+            Backend::ProtoLike => "ProtoLike",
+            Backend::Cereal => "Cereal",
+        }
+    }
+}
+
+/// Timing of one engine-serialized batch.
+pub(crate) struct SerTiming {
+    /// Time the engine was busy with this request.
+    pub busy_ns: f64,
+    /// Completion time on the engine's own timeline (accelerators
+    /// schedule internally across units); `None` for the serial
+    /// one-core software path.
+    pub done_ns: Option<f64>,
+}
+
+/// One executor's engine.
+pub(crate) enum Engine {
+    Software(Box<dyn Serializer>),
+    Cereal(Box<Accelerator>),
+}
+
+impl Engine {
+    pub fn new(backend: Backend, reg: &KlassRegistry) -> Engine {
+        match backend {
+            Backend::Java => Engine::Software(Box::new(JavaSd::new())),
+            Backend::Kryo => Engine::Software(Box::new(Kryo::new())),
+            Backend::Skyway => Engine::Software(Box::new(Skyway::new())),
+            Backend::JsonLike => Engine::Software(Box::new(JsonLike::new())),
+            Backend::ProtoLike => Engine::Software(Box::new(ProtoLike::new())),
+            Backend::Cereal => {
+                let mut accel = Accelerator::paper();
+                accel.register_all(reg).expect("class table sized for workload");
+                Engine::Cereal(Box::new(accel))
+            }
+        }
+    }
+
+    /// Serializes the graph at `root`, returning the stream and timing.
+    pub fn serialize(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+    ) -> (Vec<u8>, SerTiming) {
+        match self {
+            Engine::Software(ser) => {
+                let mut cpu = Cpu::host();
+                let bytes = ser
+                    .serialize(heap, reg, root, &mut cpu)
+                    .expect("workload registers every class");
+                let busy_ns = cpu.report().ns;
+                (bytes, SerTiming { busy_ns, done_ns: None })
+            }
+            Engine::Cereal(accel) => {
+                let r = accel
+                    .serialize(heap, reg, root)
+                    .expect("workload registers every class");
+                let t = SerTiming {
+                    busy_ns: r.run.busy_ns(),
+                    done_ns: Some(r.run.end_ns),
+                };
+                (r.bytes, t)
+            }
+        }
+    }
+
+    /// Reconstructs a stream into a fresh destination heap; returns the
+    /// heap, the root, and the request's busy time.
+    pub fn deserialize(
+        &mut self,
+        bytes: &[u8],
+        reg: &KlassRegistry,
+        capacity: u64,
+    ) -> (Heap, Addr, f64) {
+        let mut dst = Heap::with_base(Addr(DST_BASE), capacity);
+        match self {
+            Engine::Software(ser) => {
+                let mut cpu = Cpu::host();
+                let root = ser
+                    .deserialize(bytes, reg, &mut dst, &mut cpu)
+                    .expect("stream produced by the matching serializer");
+                let ns = cpu.report().ns;
+                (dst, root, ns)
+            }
+            Engine::Cereal(accel) => {
+                let r = accel
+                    .deserialize(bytes, &mut dst)
+                    .expect("stream produced by the accelerator");
+                (dst, r.root, r.run.busy_ns())
+            }
+        }
+    }
+}

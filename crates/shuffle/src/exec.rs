@@ -1,0 +1,198 @@
+//! The map-side executor: partition, coalesce, serialize, (optionally)
+//! collect garbage between waves.
+
+use crate::engine::{Backend, Engine};
+use crate::ShuffleConfig;
+use sdheap::{Addr, GcStats};
+use workloads::spark::agg::RECORD_HEAP_BYTES;
+
+/// One serialized batch on its way from a mapper to a reducer.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Source mapper.
+    pub src: usize,
+    /// Destination reducer.
+    pub dst: usize,
+    /// Per-`(src, dst)` flush sequence number.
+    pub seq: u64,
+    /// The serialized stream.
+    pub bytes: Vec<u8>,
+    /// Records coalesced into this batch.
+    pub records: u64,
+    /// Engine busy time serializing the batch.
+    pub ser_ns: f64,
+    /// Completion time on the mapper's simulated clock (includes any GC
+    /// pauses charged before this flush).
+    pub ser_done_ns: f64,
+}
+
+/// Accumulated GC activity of one executor (or a whole stage).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GcTotals {
+    /// Collections run.
+    pub collections: u64,
+    /// Total simulated stop-the-world pause.
+    pub pause_ns: f64,
+    /// Bytes reclaimed across collections (shipped batches and already
+    /// serialized records become garbage).
+    pub reclaimed_bytes: u64,
+    /// Live bytes evacuated across collections.
+    pub live_bytes: u64,
+}
+
+impl GcTotals {
+    fn absorb(&mut self, s: &GcStats) {
+        self.collections += 1;
+        self.pause_ns += s.simulated_cost_ns();
+        self.reclaimed_bytes += s.reclaimed_bytes;
+        self.live_bytes += s.live_bytes;
+    }
+
+    /// Merges another executor's totals into this one.
+    pub fn merge(&mut self, other: &GcTotals) {
+        self.collections += other.collections;
+        self.pause_ns += other.pause_ns;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+        self.live_bytes += other.live_bytes;
+    }
+}
+
+/// Everything one map executor produced.
+#[derive(Debug)]
+pub struct MapOutcome {
+    /// Serialized batches in flush order.
+    pub messages: Vec<Message>,
+    /// The mapper's clock when its last batch finished (includes GC
+    /// pauses).
+    pub clock_ns: f64,
+    /// Summed engine busy time.
+    pub ser_busy_ns: f64,
+    /// GC activity (zero when GC pressure is off).
+    pub gc: GcTotals,
+}
+
+/// Runs map executor `m` to completion: builds its partition, shuffles
+/// every record into a per-reducer pending queue, flushes each queue as
+/// a coalesced `Object[]` batch whenever the estimated heap bytes reach
+/// `cfg.flush_bytes`, and serializes each flush with the backend's
+/// engine. With `cfg.gc_pressure`, a semispace collection runs between
+/// record waves; unprocessed records and pending queues are the roots
+/// (and get relocated), everything already serialized is reclaimed, and
+/// the simulated pause is charged to the mapper's clock.
+pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome {
+    let part = cfg.agg().build_partition(m);
+    let mut heap = part.heap;
+    let reg = part.reg;
+    let batch_klass = part.batch_klass;
+    let mut records = part.records;
+    let mut engine = Engine::new(backend, &reg);
+    if backend == Backend::Cereal {
+        // Play the GC's role once up front, as the harness does: clear
+        // any stale serialization metadata before hardware serialization.
+        heap.gc_clear_serialization_metadata(&reg);
+    }
+
+    let reducers = cfg.reducers;
+    let mut pending: Vec<Vec<Addr>> = vec![Vec::new(); reducers];
+    let mut seq = vec![0u64; reducers];
+    let mut messages = Vec::new();
+    let mut clock = 0.0f64;
+    let mut pause_total = 0.0f64;
+    let mut ser_busy = 0.0f64;
+    let mut gc = GcTotals::default();
+
+    let mut flush = |dst: usize,
+                     pending: &mut Vec<Addr>,
+                     heap: &mut sdheap::Heap,
+                     engine: &mut Engine,
+                     clock: &mut f64,
+                     pause_total: f64| {
+        if pending.is_empty() {
+            return;
+        }
+        let batch = heap
+            .alloc_array(&reg, batch_klass, pending.len())
+            .expect("heap capacity covers coalesced batches");
+        for (j, &r) in pending.iter().enumerate() {
+            heap.set_array_elem(batch, j, r.get());
+        }
+        let (bytes, t) = engine.serialize(heap, &reg, batch);
+        let ser_done = match t.done_ns {
+            // The accelerator schedules across its units on its own
+            // timeline; GC pauses shift that timeline wholesale.
+            Some(end_ns) => end_ns + pause_total,
+            // Software serializes on the mapper's single host core.
+            None => *clock + t.busy_ns,
+        };
+        *clock = clock.max(ser_done);
+        ser_busy += t.busy_ns;
+        messages.push(Message {
+            src: m,
+            dst,
+            seq: seq[dst],
+            bytes,
+            records: pending.len() as u64,
+            ser_ns: t.busy_ns,
+            ser_done_ns: ser_done,
+        });
+        seq[dst] += 1;
+        pending.clear();
+    };
+
+    let waves = if cfg.gc_pressure { cfg.gc_waves.max(1) } else { 1 };
+    let wave_len = records.len().div_ceil(waves).max(1);
+    let mut i = 0usize;
+    for wave in 0..waves {
+        let end = ((wave + 1) * wave_len).min(records.len());
+        while i < end {
+            let r = records[i];
+            let key = heap.field(r, 0);
+            let dst = (key % reducers as u64) as usize;
+            pending[dst].push(r);
+            if pending[dst].len() as u64 * RECORD_HEAP_BYTES >= cfg.flush_bytes {
+                let mut q = std::mem::take(&mut pending[dst]);
+                flush(dst, &mut q, &mut heap, &mut engine, &mut clock, pause_total);
+                pending[dst] = q;
+            }
+            i += 1;
+        }
+        if cfg.gc_pressure && wave + 1 < waves {
+            // Roots: records not yet shuffled, then the pending queues in
+            // reducer order. Shipped batches (and the records inside
+            // them that are no longer rooted) are garbage.
+            let mut roots: Vec<Addr> = records[i..].to_vec();
+            for q in &pending {
+                roots.extend_from_slice(q);
+            }
+            let (new_heap, new_roots, stats) =
+                sdheap::gc::collect(&heap, &reg, &roots).expect("live set fits the semispace");
+            heap = new_heap;
+            let mut relocated = new_roots.into_iter();
+            for slot in records[i..].iter_mut() {
+                *slot = relocated.next().expect("one relocation per root");
+            }
+            for q in pending.iter_mut() {
+                for slot in q.iter_mut() {
+                    *slot = relocated.next().expect("one relocation per root");
+                }
+            }
+            let pause = stats.simulated_cost_ns();
+            clock += pause;
+            pause_total += pause;
+            gc.absorb(&stats);
+        }
+    }
+    for dst in 0..reducers {
+        let mut q = std::mem::take(&mut pending[dst]);
+        flush(dst, &mut q, &mut heap, &mut engine, &mut clock, pause_total);
+        pending[dst] = q;
+    }
+    drop(flush);
+
+    MapOutcome {
+        messages,
+        clock_ns: clock,
+        ser_busy_ns: ser_busy,
+        gc,
+    }
+}

@@ -1,0 +1,135 @@
+//! Shuffle reports and their JSON rendering.
+//!
+//! Every field is derived from simulated clocks and deterministic
+//! counters — nothing wall-clock, nothing machine-dependent — so the
+//! rendered JSON is byte-identical across runs and job counts.
+
+use crate::exec::GcTotals;
+use crate::timeline::NetStats;
+use crate::ShuffleConfig;
+
+/// One backend's end-to-end shuffle measurements.
+#[derive(Clone, Debug)]
+pub struct BackendReport {
+    /// Backend display name.
+    pub name: &'static str,
+    /// Serialized batches shipped.
+    pub messages: u64,
+    /// Total wire bytes.
+    pub wire_bytes: u64,
+    /// Records shuffled.
+    pub records: u64,
+    /// Summed serialization busy time across mappers.
+    pub ser_busy_ns: f64,
+    /// Slowest mapper's completion (serialization + GC pauses).
+    pub map_makespan_ns: f64,
+    /// Summed deserialization busy time across reducers.
+    pub de_busy_ns: f64,
+    /// Fabric and flow-control statistics.
+    pub net: NetStats,
+    /// GC activity summed over mappers (`None` when GC pressure is off).
+    pub gc: Option<GcTotals>,
+    /// FNV-1a digest of the merged `(key, count, sum)` aggregate —
+    /// identical across backends, coalescing settings and job counts.
+    pub fold_checksum: u64,
+}
+
+impl BackendReport {
+    /// Records per second of end-to-end simulated time.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.net.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        self.records as f64 / (self.net.makespan_ns * 1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let gc = match &self.gc {
+            None => "null".to_string(),
+            Some(g) => format!(
+                "{{\"collections\": {}, \"pause_ns\": {:.3}, \"reclaimed_bytes\": {}, \"live_bytes\": {}}}",
+                g.collections, g.pause_ns, g.reclaimed_bytes, g.live_bytes
+            ),
+        };
+        format!(
+            "    {{\"name\": \"{}\", \"messages\": {}, \"wire_bytes\": {}, \"records\": {},\n\
+             \x20     \"ser_busy_ns\": {:.3}, \"map_makespan_ns\": {:.3}, \"de_busy_ns\": {:.3},\n\
+             \x20     \"net_ns\": {:.3}, \"makespan_ns\": {:.3}, \"records_per_sec\": {:.1},\n\
+             \x20     \"backpressure_blocks\": {}, \"backpressure_wait_ns\": {:.3},\n\
+             \x20     \"ingress_utilization\": {:.4}, \"gc\": {}, \"fold_checksum\": \"{:016x}\"}}",
+            self.name,
+            self.messages,
+            self.wire_bytes,
+            self.records,
+            self.ser_busy_ns,
+            self.map_makespan_ns,
+            self.de_busy_ns,
+            self.net.net_ns,
+            self.net.makespan_ns,
+            self.records_per_sec(),
+            self.net.backpressure_blocks,
+            self.net.backpressure_wait_ns,
+            self.net.ingress_utilization,
+            gc,
+            self.fold_checksum,
+        )
+    }
+}
+
+/// A full suite run: configuration plus one report per backend.
+#[derive(Clone, Debug)]
+pub struct ShuffleReport {
+    /// The configuration that produced these numbers.
+    pub config: ShuffleConfig,
+    /// Per-backend results in run order.
+    pub backends: Vec<BackendReport>,
+}
+
+impl ShuffleReport {
+    /// Renders the report as deterministic JSON (job count and wall
+    /// clock deliberately excluded).
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let rows: Vec<String> = self.backends.iter().map(BackendReport::to_json).collect();
+        format!(
+            "{{\n\
+             \x20 \"generated_by\": \"shuffle service\",\n\
+             \x20 \"config\": {{\n\
+             \x20   \"mappers\": {}, \"reducers\": {}, \"records_per_mapper\": {},\n\
+             \x20   \"distinct_keys\": {}, \"seed\": {}, \"flush_bytes\": {},\n\
+             \x20   \"watermark_bytes\": {}, \"link\": \"{}\", \"gc_pressure\": {}, \"gc_waves\": {}\n\
+             \x20 }},\n\
+             \x20 \"backends\": [\n{}\n\x20 ]\n\
+             }}\n",
+            c.mappers,
+            c.reducers,
+            c.records_per_mapper,
+            c.distinct_keys,
+            c.seed,
+            c.flush_bytes,
+            c.watermark_bytes,
+            c.link_name,
+            c.gc_pressure,
+            c.gc_waves,
+            rows.join(",\n")
+        )
+    }
+}
+
+/// FNV-1a over the merged aggregate, for cross-backend/cross-run
+/// equality checks that survive JSON round trips.
+pub(crate) fn fold_checksum(fold: &std::collections::BTreeMap<u64, (u64, f64)>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_be_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (&k, &(count, sum)) in fold {
+        mix(k);
+        mix(count);
+        mix(sum.to_bits());
+    }
+    h
+}

@@ -1,0 +1,118 @@
+//! The shuffle service top level: fan the executors out over threads,
+//! stitch their simulated clocks into one deterministic report.
+
+use crate::engine::Backend;
+use crate::exec::{run_mapper, GcTotals, MapOutcome, Message};
+use crate::par::par_map;
+use crate::reduce::{run_reducer, ReduceOutcome};
+use crate::report::{fold_checksum, BackendReport, ShuffleReport};
+use crate::timeline::compose;
+use crate::ShuffleConfig;
+use std::collections::BTreeMap;
+
+/// One backend's full run: the report plus the merged aggregate (kept
+/// out of the report; tests check it against the dataset's expected
+/// fold).
+#[derive(Debug)]
+pub struct BackendRun {
+    /// The measurements.
+    pub report: BackendReport,
+    /// The merged key → `(count, sum)` aggregate over all reducers.
+    pub fold: BTreeMap<u64, (u64, f64)>,
+}
+
+/// Runs one backend through the whole shuffle: map fan-out, reduce
+/// fan-out, timeline composition.
+///
+/// # Panics
+/// Panics if any executor fails (the workload registers every class) or
+/// if two reducers claim the same key.
+pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
+    // Map stage: one self-contained executor per mapper, on real
+    // threads. Results land in mapper order regardless of scheduling.
+    let maps: Vec<MapOutcome> = par_map(cfg.jobs, cfg.mappers, |m| run_mapper(cfg, backend, m));
+
+    // Global message list in (mapper, flush) order; per reducer this is
+    // ascending (src, seq) — the deterministic delivery order.
+    let all: Vec<&Message> = maps.iter().flat_map(|o| o.messages.iter()).collect();
+    let mut per_reducer: Vec<Vec<usize>> = vec![Vec::new(); cfg.reducers];
+    for (i, msg) in all.iter().enumerate() {
+        per_reducer[msg.dst].push(i);
+    }
+
+    // Reduce stage: one executor per reducer, on real threads.
+    let agg = cfg.agg();
+    let reg = agg.registry();
+    let capacity = agg.heap_capacity();
+    let reduces: Vec<ReduceOutcome> = par_map(cfg.jobs, cfg.reducers, |r| {
+        let msgs: Vec<&Message> = per_reducer[r].iter().map(|&i| all[i]).collect();
+        run_reducer(backend, &reg, capacity, &msgs)
+    });
+
+    // Stitch per-message deserialization times back to the global list.
+    let mut de_ns = vec![0.0f64; all.len()];
+    for (r, outcome) in reduces.iter().enumerate() {
+        for (k, &i) in per_reducer[r].iter().enumerate() {
+            de_ns[i] = outcome.de_ns[k];
+        }
+    }
+
+    // Timeline composition: sequential and order-deterministic.
+    let net = compose(cfg, &all, &de_ns);
+
+    // Merge the folds; key spaces are disjoint (key % reducers routing).
+    let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+    for outcome in &reduces {
+        for (&k, &v) in &outcome.fold {
+            assert!(fold.insert(k, v).is_none(), "key {k} folded by two reducers");
+        }
+    }
+
+    let mut gc_totals = GcTotals::default();
+    for o in &maps {
+        gc_totals.merge(&o.gc);
+    }
+    let report = BackendReport {
+        name: backend.name(),
+        messages: all.len() as u64,
+        wire_bytes: all.iter().map(|m| m.bytes.len() as u64).sum(),
+        records: reduces.iter().map(|o| o.records).sum(),
+        ser_busy_ns: maps.iter().map(|o| o.ser_busy_ns).sum(),
+        map_makespan_ns: maps.iter().map(|o| o.clock_ns).fold(0.0, f64::max),
+        de_busy_ns: reduces.iter().map(|o| o.de_busy_ns).sum(),
+        net,
+        gc: cfg.gc_pressure.then_some(gc_totals),
+        fold_checksum: fold_checksum(&fold),
+    };
+    BackendRun { report, fold }
+}
+
+/// Runs a list of backends and checks they all computed the same
+/// aggregate.
+///
+/// # Panics
+/// Panics if two backends disagree on the fold — a round-trip
+/// correctness failure.
+pub fn run_suite(cfg: &ShuffleConfig, backends: &[Backend]) -> ShuffleReport {
+    let mut reports = Vec::with_capacity(backends.len());
+    let mut first_fold: Option<(&'static str, BTreeMap<u64, (u64, f64)>)> = None;
+    for &b in backends {
+        let run = run_backend(cfg, b);
+        match &first_fold {
+            None => first_fold = Some((b.name(), run.fold)),
+            Some((name, fold)) => {
+                assert!(
+                    *fold == run.fold,
+                    "{} and {} disagree on the aggregate",
+                    name,
+                    b.name()
+                );
+            }
+        }
+        reports.push(run.report);
+    }
+    ShuffleReport {
+        config: *cfg,
+        backends: reports,
+    }
+}

@@ -1,0 +1,107 @@
+//! Timeline composition: every batch's journey from serialization
+//! completion through the fabric to deserialization completion, with
+//! bounded-window backpressure at each reducer.
+//!
+//! The composition is pure arithmetic over the per-request simulated
+//! times the executors measured — it runs sequentially, in a total order
+//! independent of which thread executed which executor, so the result is
+//! deterministic for any job count.
+
+use crate::exec::Message;
+use crate::ShuffleConfig;
+use sim::net::Fabric;
+use std::collections::VecDeque;
+
+/// Network-and-makespan statistics of one shuffle.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetStats {
+    /// End-to-end completion time: the last batch's deserialization.
+    pub makespan_ns: f64,
+    /// Summed per-message time on the fabric (injection to last-byte
+    /// arrival, including NIC queueing).
+    pub net_ns: f64,
+    /// Sends that found the destination window full.
+    pub backpressure_blocks: u64,
+    /// Total time senders spent blocked on the watermark.
+    pub backpressure_wait_ns: f64,
+    /// Aggregate ingress-bandwidth utilization over the makespan.
+    pub ingress_utilization: f64,
+}
+
+/// Composes the shuffle timeline.
+///
+/// `msgs` is the global message list; `order` must iterate it in a
+/// deterministic total order of send attempts — ascending
+/// `(ser_done_ns, src, dst, seq)`. `de_ns[i]` is message `i`'s
+/// deserialization busy time.
+///
+/// Rules, in order, for each message:
+/// 1. a mapper issues sends serially (a send cannot start before the
+///    mapper's previous send started);
+/// 2. **backpressure**: while the destination reducer's in-flight bytes
+///    plus this message would exceed the watermark, the sender blocks
+///    until the earliest in-flight batch finishes deserializing;
+/// 3. the message crosses the [`Fabric`] (egress NIC → pair link →
+///    ingress NIC, each a contended ledger);
+/// 4. the reducer deserializes arrivals serially.
+pub fn compose(cfg: &ShuffleConfig, msgs: &[&Message], de_ns: &[f64]) -> NetStats {
+    assert_eq!(msgs.len(), de_ns.len());
+    let mut order: Vec<usize> = (0..msgs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ma, mb) = (msgs[a], msgs[b]);
+        ma.ser_done_ns
+            .partial_cmp(&mb.ser_done_ns)
+            .expect("simulated times are never NaN")
+            .then(ma.src.cmp(&mb.src))
+            .then(ma.dst.cmp(&mb.dst))
+            .then(ma.seq.cmp(&mb.seq))
+    });
+
+    let mut fabric = Fabric::full_mesh(cfg.mappers, cfg.reducers, cfg.link);
+    let mut mapper_free = vec![0.0f64; cfg.mappers];
+    let mut reducer_free = vec![0.0f64; cfg.reducers];
+    // Per reducer: (de_done, bytes) of batches sent but not yet
+    // deserialized. De-completion is monotonic per reducer (the reduce
+    // server is serial), so the front is always the earliest.
+    let mut inflight: Vec<VecDeque<(f64, u64)>> = vec![VecDeque::new(); cfg.reducers];
+    let mut inflight_bytes = vec![0u64; cfg.reducers];
+    let mut stats = NetStats::default();
+
+    for i in order {
+        let msg = msgs[i];
+        let (src, dst) = (msg.src, msg.dst);
+        let wire = (msg.bytes.len() as u64).max(1);
+        let mut start = msg.ser_done_ns.max(mapper_free[src]);
+
+        // Retire batches the reducer has already finished by `start`.
+        while let Some(&(done, b)) = inflight[dst].front() {
+            if done <= start {
+                inflight[dst].pop_front();
+                inflight_bytes[dst] -= b;
+            } else {
+                break;
+            }
+        }
+        // Block on the watermark: wait for the earliest in-flight batch
+        // to clear, repeatedly, until the window has room.
+        while inflight_bytes[dst] + wire > cfg.watermark_bytes && !inflight[dst].is_empty() {
+            let (done, b) = inflight[dst].pop_front().expect("non-empty");
+            inflight_bytes[dst] -= b;
+            stats.backpressure_blocks += 1;
+            stats.backpressure_wait_ns += done - start;
+            start = done;
+        }
+
+        mapper_free[src] = start;
+        let arrival = fabric.send(src, dst, wire, start);
+        stats.net_ns += arrival - start;
+        let de_start = arrival.max(reducer_free[dst]);
+        let de_done = de_start + de_ns[i];
+        reducer_free[dst] = de_done;
+        inflight[dst].push_back((de_done, wire));
+        inflight_bytes[dst] += wire;
+        stats.makespan_ns = stats.makespan_ns.max(de_done);
+    }
+    stats.ingress_utilization = fabric.ingress_utilization(stats.makespan_ns);
+    stats
+}

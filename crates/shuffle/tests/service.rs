@@ -1,0 +1,164 @@
+//! End-to-end shuffle service tests: thread-count determinism,
+//! backpressure, coalescing, GC pressure, and cross-backend agreement.
+
+use shuffle::{run_backend, run_suite, Backend, ShuffleConfig};
+
+fn tiny() -> ShuffleConfig {
+    ShuffleConfig {
+        mappers: 3,
+        reducers: 3,
+        records_per_mapper: 96,
+        distinct_keys: 16,
+        ..ShuffleConfig::smoke()
+    }
+}
+
+#[test]
+fn report_is_byte_identical_for_any_job_count() {
+    let backends = [Backend::Kryo, Backend::Cereal];
+    let mut cfg = tiny();
+    cfg.jobs = 1;
+    let one = run_suite(&cfg, &backends).to_json();
+    cfg.jobs = 4;
+    let four = run_suite(&cfg, &backends).to_json();
+    assert_eq!(one, four, "jobs=1 and jobs=4 must render identical reports");
+    cfg.jobs = 13;
+    let thirteen = run_suite(&cfg, &backends).to_json();
+    assert_eq!(one, thirteen);
+}
+
+#[test]
+fn fold_matches_the_datasets_expected_aggregate() {
+    let cfg = tiny();
+    let run = run_backend(&cfg, Backend::Kryo);
+    let expected = cfg.agg().expected_fold();
+    assert_eq!(run.fold.len(), expected.len());
+    for (k, &(count, sum)) in &expected {
+        let &(c, s) = run.fold.get(k).expect("key present");
+        assert_eq!(c, count, "count for key {k}");
+        assert_eq!(s.to_bits(), sum.to_bits(), "sum for key {k} is bit-exact");
+    }
+}
+
+#[test]
+fn all_backends_agree_on_the_aggregate() {
+    // run_suite panics on disagreement; also check the checksums match.
+    let report = run_suite(&tiny(), &Backend::all());
+    let first = report.backends[0].fold_checksum;
+    for b in &report.backends {
+        assert_eq!(b.fold_checksum, first, "{} diverged", b.name);
+        assert_eq!(b.records, (3 * 96) as u64, "{} lost records", b.name);
+    }
+}
+
+#[test]
+fn backpressure_blocks_at_the_watermark() {
+    // A watermark of 1 byte forces every send to wait for the previous
+    // batch to clear the reducer.
+    let mut tight = tiny();
+    tight.watermark_bytes = 1;
+    let blocked = run_backend(&tight, Backend::Kryo);
+    assert!(
+        blocked.report.net.backpressure_blocks > 0,
+        "tight watermark must block senders"
+    );
+    assert!(blocked.report.net.backpressure_wait_ns > 0.0);
+
+    // An effectively unbounded window never blocks, and the shuffle
+    // finishes no later.
+    let mut open = tiny();
+    open.watermark_bytes = u64::MAX;
+    let free = run_backend(&open, Backend::Kryo);
+    assert_eq!(free.report.net.backpressure_blocks, 0);
+    assert_eq!(free.report.net.backpressure_wait_ns, 0.0);
+    assert!(
+        blocked.report.net.makespan_ns >= free.report.net.makespan_ns,
+        "blocking cannot finish earlier: {} vs {}",
+        blocked.report.net.makespan_ns,
+        free.report.net.makespan_ns
+    );
+    // The stream contents are unaffected by flow control.
+    assert_eq!(blocked.report.fold_checksum, free.report.fold_checksum);
+    assert_eq!(blocked.report.wire_bytes, free.report.wire_bytes);
+}
+
+#[test]
+fn coalescing_ships_fewer_larger_messages_with_identical_records() {
+    let mut fine = tiny();
+    fine.flush_bytes = 1; // flush every record: no coalescing
+    let mut coarse = tiny();
+    coarse.flush_bytes = 64 << 10; // everything coalesces per reducer
+
+    let fine_run = run_backend(&fine, Backend::Kryo);
+    let coarse_run = run_backend(&coarse, Backend::Kryo);
+    assert!(
+        coarse_run.report.messages < fine_run.report.messages,
+        "coalescing must reduce message count: {} vs {}",
+        coarse_run.report.messages,
+        fine_run.report.messages
+    );
+    let fine_avg = fine_run.report.wire_bytes as f64 / fine_run.report.messages as f64;
+    let coarse_avg = coarse_run.report.wire_bytes as f64 / coarse_run.report.messages as f64;
+    assert!(
+        coarse_avg > fine_avg * 4.0,
+        "coalesced batches must be much larger: {coarse_avg:.0} vs {fine_avg:.0} B"
+    );
+    // Identical decoded records either way.
+    assert_eq!(fine_run.fold, coarse_run.fold);
+    assert_eq!(
+        fine_run.report.records, coarse_run.report.records,
+        "every record arrives exactly once"
+    );
+    // Fewer messages means less per-message framing on the wire.
+    assert!(coarse_run.report.wire_bytes < fine_run.report.wire_bytes);
+}
+
+#[test]
+fn gc_pressure_reports_collections_and_charges_pauses() {
+    let mut cfg = tiny();
+    cfg.gc_pressure = true;
+    cfg.gc_waves = 4;
+    let run = run_backend(&cfg, Backend::Kryo);
+    let gc = run.report.gc.expect("gc totals present in gc-pressure mode");
+    assert_eq!(gc.collections, (cfg.gc_waves as u64 - 1) * cfg.mappers as u64);
+    assert!(gc.pause_ns > 0.0);
+    assert!(
+        gc.reclaimed_bytes > 0,
+        "shipped batches must be reclaimed as garbage"
+    );
+    // The aggregate survives relocation.
+    let expected = cfg.agg().expected_fold();
+    assert_eq!(run.fold.len(), expected.len());
+    for (k, &(count, _)) in &expected {
+        assert_eq!(run.fold[k].0, count);
+    }
+    // Pauses push the map stage (and the whole shuffle) later.
+    let mut no_gc = cfg;
+    no_gc.gc_pressure = false;
+    let baseline = run_backend(&no_gc, Backend::Kryo);
+    assert!(run.report.map_makespan_ns > baseline.report.map_makespan_ns);
+    assert_eq!(run.report.fold_checksum, baseline.report.fold_checksum);
+}
+
+#[test]
+fn cereal_backend_outruns_software() {
+    // Large coalesced batches: the regime the accelerator is built for
+    // (its units are bandwidth-bound; tiny requests pay fixed latency).
+    let mut cfg = tiny();
+    cfg.flush_bytes = 64 << 10;
+    let kryo = run_backend(&cfg, Backend::Kryo);
+    let cereal = run_backend(&cfg, Backend::Cereal);
+    assert!(
+        cereal.report.ser_busy_ns < kryo.report.ser_busy_ns,
+        "the accelerator must serialize faster than Kryo: {} vs {}",
+        cereal.report.ser_busy_ns,
+        kryo.report.ser_busy_ns
+    );
+    assert!(
+        cereal.report.de_busy_ns < kryo.report.de_busy_ns,
+        "the accelerator must deserialize faster than Kryo: {} vs {}",
+        cereal.report.de_busy_ns,
+        kryo.report.de_busy_ns
+    );
+    assert!(cereal.report.net.makespan_ns < kryo.report.net.makespan_ns);
+}

@@ -116,6 +116,95 @@ impl Link {
     }
 }
 
+/// A full-mesh fabric of point-to-point links with per-endpoint fan-out
+/// and fan-in capacity.
+///
+/// A shuffle is an all-to-all transfer: every mapper sends to every
+/// reducer. Modeling only per-pair links would give the fabric N×M times
+/// the bandwidth of any real cluster, so each message crosses three
+/// store-and-forward hops, every one its own time-bucket ledger:
+///
+/// 1. the sender's **egress NIC** (latency-free [`Link`]), shared by all
+///    of that sender's flows — the fan-out bottleneck;
+/// 2. the **pair link**, which carries the configured one-way latency;
+/// 3. the receiver's **ingress NIC** (latency-free), shared by all of
+///    that receiver's flows — the fan-in bottleneck.
+///
+/// All three ledgers run at the configured bandwidth, so an uncontended
+/// message pays roughly three service times plus the latency; under
+/// incast the ingress hop dominates, exactly the behaviour end-to-end
+/// shuffle experiments need.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    cfg: LinkConfig,
+    receivers: usize,
+    pairs: Vec<Link>,
+    egress: Vec<Link>,
+    ingress: Vec<Link>,
+}
+
+impl Fabric {
+    /// A full mesh between `senders` and `receivers` endpoints.
+    ///
+    /// # Panics
+    /// Panics if either side is empty.
+    pub fn full_mesh(senders: usize, receivers: usize, cfg: LinkConfig) -> Self {
+        assert!(senders > 0 && receivers > 0, "fabric needs endpoints");
+        let nic = LinkConfig {
+            bytes_per_ns: cfg.bytes_per_ns,
+            latency_ns: 0.0,
+        };
+        Fabric {
+            cfg,
+            receivers,
+            pairs: vec![Link::new(cfg); senders * receivers],
+            egress: vec![Link::new(nic); senders],
+            ingress: vec![Link::new(nic); receivers],
+        }
+    }
+
+    /// The pair-link configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.cfg
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting at `now_ns`; returns
+    /// the arrival time of the last byte after all three hops.
+    ///
+    /// # Panics
+    /// Panics if `src`/`dst` are out of range (debug builds index-check).
+    pub fn send(&mut self, src: usize, dst: usize, bytes: u64, now_ns: f64) -> f64 {
+        let out = self.egress[src].send(bytes, now_ns);
+        let wire = self.pairs[src * self.receivers + dst].send(bytes, out);
+        self.ingress[dst].send(bytes, wire)
+    }
+
+    /// The point-to-point link between `src` and `dst`.
+    pub fn pair(&self, src: usize, dst: usize) -> &Link {
+        &self.pairs[src * self.receivers + dst]
+    }
+
+    /// Total bytes crossing the fabric (counted once per message).
+    pub fn total_bytes(&self) -> u64 {
+        self.egress.iter().map(Link::total_bytes).sum()
+    }
+
+    /// Messages sent across the fabric.
+    pub fn messages(&self) -> u64 {
+        self.egress.iter().map(Link::messages).sum()
+    }
+
+    /// Fraction of aggregate ingress bandwidth used over `elapsed_ns` —
+    /// the utilization figure that matters under fan-in.
+    pub fn ingress_utilization(&self, elapsed_ns: f64) -> f64 {
+        if elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        let cap = self.cfg.bytes_per_ns * self.ingress.len() as f64;
+        (self.total_bytes() as f64 / elapsed_ns) / cap
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,4 +14,5 @@ pub mod spark;
 
 pub use jsbs::{catalog, media_content, LibClass, LibraryProfile};
 pub use micro::{MicroBench, Scale};
+pub use spark::agg::{AggConfig, AggPartition};
 pub use spark::{phases, SparkApp, SparkDataset, SparkScale};

@@ -21,6 +21,7 @@
 //! [`SparkScale`] (default 1/256 — ratios, not absolute times, are what
 //! the figures report).
 
+pub mod agg;
 pub mod phases;
 
 use sdheap::builder::Init;

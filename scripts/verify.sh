@@ -19,4 +19,12 @@ cargo test -q --workspace $CARGO_FLAGS
 echo "== perf smoke =="
 cargo run --release -p cereal-bench --bin perf $CARGO_FLAGS -- --smoke
 
+echo "== shuffle smoke + thread-count determinism =="
+cargo run --release -p cereal-bench --bin shuffle $CARGO_FLAGS -- \
+  --smoke --jobs 1 --out target/shuffle_jobs1.json
+cargo run --release -p cereal-bench --bin shuffle $CARGO_FLAGS -- \
+  --smoke --jobs 4 --out target/shuffle_jobs4.json
+cmp target/shuffle_jobs1.json target/shuffle_jobs4.json \
+  || { echo "shuffle report differs between 1 and 4 jobs"; exit 1; }
+
 echo "verify: OK"
