@@ -310,6 +310,69 @@ fn accel_sim() -> AccelPerf {
     }
 }
 
+struct ArenaPerf {
+    bench: &'static str,
+    iters: usize,
+    per_vec_ms: f64,
+    arena_ms: f64,
+    sim_busy_ns: f64,
+    stream_bytes: usize,
+}
+
+impl ArenaPerf {
+    fn speedup(&self) -> f64 {
+        self.per_vec_ms / self.arena_ms
+    }
+}
+
+/// Accelerator serialization with a per-request `Vec` (`serialize`)
+/// vs a caller-reused arena (`serialize_into`), `iters` requests each
+/// on fresh accelerators. The streams must match byte-for-byte and the
+/// simulated busy nanoseconds must be identical — the arena is a host
+/// allocation optimization, invisible to the model.
+fn accel_arena(iters: usize) -> ArenaPerf {
+    let bench = MicroBench::ListSmall;
+    let (mut heap, reg, root) = bench.build(Scale::Tiny);
+
+    let mut per_vec = cereal::Accelerator::new(CerealConfig::paper());
+    per_vec.register_all(&reg).expect("register classes");
+    let t0 = Instant::now();
+    let mut last_owned = Vec::new();
+    for _ in 0..iters {
+        last_owned = per_vec.serialize(&mut heap, &reg, root).expect("serialize").bytes;
+        black_box(&last_owned);
+    }
+    let per_vec_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut arena_accel = cereal::Accelerator::new(CerealConfig::paper());
+    arena_accel.register_all(&reg).expect("register classes");
+    let mut arena = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        arena_accel
+            .serialize_into(&mut heap, &reg, root, &mut arena)
+            .expect("serialize");
+        black_box(&arena);
+    }
+    let arena_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(arena, last_owned, "arena stream must match the owned stream");
+    let busy = per_vec.report().su_busy_ns;
+    assert_eq!(
+        busy.to_bits(),
+        arena_accel.report().su_busy_ns.to_bits(),
+        "arena path must not move simulated time"
+    );
+    ArenaPerf {
+        bench: bench.name(),
+        iters,
+        per_vec_ms,
+        arena_ms,
+        sim_busy_ns: busy,
+        stream_bytes: arena.len(),
+    }
+}
+
 /// Runs the eight `--bin all` experiment units (six micro + JSBS +
 /// Spark, all at Tiny scale) on `jobs` worker threads; returns the
 /// wall-clock milliseconds.
@@ -392,6 +455,19 @@ fn main() {
         accel.bench, accel.wall_ms, accel.sim_ser_ns, accel.sim_de_ns
     );
 
+    let arena_iters = if smoke { 32 } else { 512 };
+    eprintln!("accelerator arena ({arena_iters} serializations, per-request Vec vs reused arena)...");
+    let arena = accel_arena(arena_iters);
+    eprintln!(
+        "  {} per-vec {:.3} ms / arena {:.3} ms = {:.2}x ({} B/stream, busy {:.1} ns unchanged)",
+        arena.bench,
+        arena.per_vec_ms,
+        arena.arena_ms,
+        arena.speedup(),
+        arena.stream_bytes,
+        arena.sim_busy_ns
+    );
+
     eprintln!("experiment fan-out (8 units, 1 vs {par_jobs} worker(s), best of {fanout_reps})...");
     let (seq_ms, ()) = best_of(fanout_reps, || {
         run_units(1);
@@ -435,6 +511,12 @@ fn main() {
          \x20   \"bench\": \"{ab}\", \"wall_ms\": {aw:.3},\n\
          \x20   \"sim_ser_ns\": {asn:.3}, \"sim_de_ns\": {adn:.3}, \"stream_bytes\": {asb}\n\
          \x20 }},\n\
+         \x20 \"accel_arena\": {{\n\
+         \x20   \"bench\": \"{arb}\", \"iters\": {ari},\n\
+         \x20   \"per_vec_ms\": {arp:.3}, \"arena_ms\": {ara:.3}, \"speedup\": {ars:.2},\n\
+         \x20   \"sim_busy_ns\": {arn:.3}, \"stream_bytes\": {arsb},\n\
+         \x20   \"streams_identical\": true, \"sim_time_identical\": true\n\
+         \x20 }},\n\
          \x20 \"fanout\": {{\n\
          \x20   \"units\": 8, \"seq_jobs\": 1, \"par_jobs\": {pj},\n\
          \x20   \"seq_ms\": {sm:.1}, \"par_ms\": {pm:.1}, \"speedup\": {fs:.2}\n\
@@ -461,6 +543,13 @@ fn main() {
         asn = accel.sim_ser_ns,
         adn = accel.sim_de_ns,
         asb = accel.stream_bytes,
+        arb = arena.bench,
+        ari = arena.iters,
+        arp = arena.per_vec_ms,
+        ara = arena.arena_ms,
+        ars = arena.speedup(),
+        arn = arena.sim_busy_ns,
+        arsb = arena.stream_bytes,
         pj = par_jobs,
         sm = seq_ms,
         pm = par_ms,

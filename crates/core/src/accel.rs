@@ -36,6 +36,21 @@ pub struct SerResult {
     pub fell_back: bool,
 }
 
+/// Timing and placement of one serialization request, without the
+/// stream bytes — what [`Accelerator::serialize_into`] returns after
+/// writing the stream into the caller's arena.
+#[derive(Clone, Copy, Debug)]
+pub struct SerMeta {
+    /// Encoded stream length in bytes.
+    pub len: usize,
+    /// Unit timing (or host-CPU timing when `fell_back`).
+    pub run: UnitRun,
+    /// Which SU executed the request (0 when `fell_back`).
+    pub unit: usize,
+    /// Whether the request fell back to software serialization.
+    pub fell_back: bool,
+}
+
 /// Timed result of one deserialization request.
 #[derive(Clone, Copy, Debug)]
 pub struct DeResult {
@@ -173,6 +188,33 @@ impl Accelerator {
         reg: &KlassRegistry,
         root: Addr,
     ) -> Result<SerResult, SerError> {
+        let mut bytes = Vec::new();
+        let meta = self.serialize_into(heap, reg, root, &mut bytes)?;
+        Ok(SerResult {
+            bytes,
+            run: meta.run,
+            unit: meta.unit,
+            fell_back: meta.fell_back,
+        })
+    }
+
+    /// Like [`Accelerator::serialize`], but encodes the stream into a
+    /// caller-provided arena instead of allocating a fresh `Vec` per
+    /// request. `out` is cleared first, so a reused arena amortizes its
+    /// allocation across requests — the hot path for callers issuing
+    /// many serializations in a loop (the shuffle and store services).
+    /// Bytes and timing are identical to [`Accelerator::serialize`].
+    ///
+    /// # Errors
+    /// [`SerError`] for unregistered classes or the shared-object
+    /// software-fallback case.
+    pub fn serialize_into(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        out: &mut Vec<u8>,
+    ) -> Result<SerMeta, SerError> {
         let counter = self.next_counter(heap, reg);
         // Pick the earliest-free SU.
         let unit = (0..self.cfg.num_su)
@@ -193,8 +235,10 @@ impl Accelerator {
         self.su_busy += run.busy_ns();
         self.ser_requests += 1;
         self.ser_makespan = self.ser_makespan.max(run.end_ns);
-        Ok(SerResult {
-            bytes: outcome.stream.to_bytes(),
+        out.clear();
+        outcome.stream.to_bytes_into(out);
+        Ok(SerMeta {
+            len: out.len(),
             run,
             unit,
             fell_back: false,
@@ -436,6 +480,32 @@ mod tests {
         accel.register_all(&reg).unwrap();
         let r = accel.serialize_with_fallback(&mut heap, &reg, root).unwrap();
         assert!(!r.fell_back);
+    }
+
+    #[test]
+    fn serialize_into_matches_serialize() {
+        let (mut heap, reg, root) = list(100);
+        let mut a = Accelerator::paper();
+        let mut b = Accelerator::paper();
+        a.register_all(&reg).unwrap();
+        b.register_all(&reg).unwrap();
+        // Two passes (not interleaved calls: both accelerators would use
+        // the same counter values, and a's visit marks would read as b's
+        // revisits). Counter mismatch across passes forces fresh visits.
+        let owned: Vec<_> =
+            (0..3).map(|_| a.serialize(&mut heap, &reg, root).unwrap()).collect();
+        // Stale contents in the arena must not leak into the stream.
+        let mut arena = vec![0xAAu8; 64];
+        for owned in &owned {
+            let meta = b.serialize_into(&mut heap, &reg, root, &mut arena).unwrap();
+            assert_eq!(arena, owned.bytes);
+            assert_eq!(meta.len, owned.bytes.len());
+            assert_eq!(meta.unit, owned.unit);
+            assert_eq!(meta.run.start_ns.to_bits(), owned.run.start_ns.to_bits());
+            assert_eq!(meta.run.end_ns.to_bits(), owned.run.end_ns.to_bits());
+            assert!(!meta.fell_back);
+        }
+        assert_eq!(a.report().ser_requests, b.report().ser_requests);
     }
 
     #[test]

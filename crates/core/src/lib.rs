@@ -55,7 +55,7 @@ pub mod iface;
 pub mod su;
 pub mod tables;
 
-pub use accel::{AccelReport, Accelerator, DeResult, SerResult};
+pub use accel::{AccelReport, Accelerator, DeResult, SerMeta, SerResult};
 pub use config::CerealConfig;
 pub use du::DeserializationUnit;
 pub use iface::{

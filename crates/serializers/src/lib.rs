@@ -54,4 +54,6 @@ pub use jsonlike::JsonLike;
 pub use kryo::Kryo;
 pub use protolike::ProtoLike;
 pub use skyway::Skyway;
-pub use trace::{CountingSink, NullSink, Op, TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
+pub use trace::{
+    BufferedSink, CountingSink, NullSink, Op, TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE,
+};

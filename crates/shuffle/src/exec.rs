@@ -1,9 +1,9 @@
 //! The map-side executor: partition, coalesce, serialize, (optionally)
 //! collect garbage between waves.
 
-use crate::engine::{Backend, Engine};
 use crate::ShuffleConfig;
 use sdheap::{Addr, GcStats};
+use store::{Backend, BlockStore, Engine, MissPolicy, NoLineage, StoreConfig};
 use workloads::spark::agg::RECORD_HEAP_BYTES;
 
 /// One serialized batch on its way from a mapper to a reducer.
@@ -57,18 +57,47 @@ impl GcTotals {
     }
 }
 
+/// Accumulated spill activity of one mapper's block store (or a whole
+/// stage).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpillTotals {
+    /// Batches evicted to the simulated disk.
+    pub spills: u64,
+    /// Bytes written to spill files.
+    pub spilled_bytes: u64,
+    /// Simulated time spent writing spill files.
+    pub spill_ns: f64,
+    /// Batches read back from spill files at serve time.
+    pub fetches: u64,
+    /// Simulated time spent reading spill files.
+    pub fetch_ns: f64,
+}
+
+impl SpillTotals {
+    /// Merges another executor's totals into this one.
+    pub fn merge(&mut self, other: &SpillTotals) {
+        self.spills += other.spills;
+        self.spilled_bytes += other.spilled_bytes;
+        self.spill_ns += other.spill_ns;
+        self.fetches += other.fetches;
+        self.fetch_ns += other.fetch_ns;
+    }
+}
+
 /// Everything one map executor produced.
 #[derive(Debug)]
 pub struct MapOutcome {
     /// Serialized batches in flush order.
     pub messages: Vec<Message>,
     /// The mapper's clock when its last batch finished (includes GC
-    /// pauses).
+    /// pauses and any spill/serve disk time).
     pub clock_ns: f64,
     /// Summed engine busy time.
     pub ser_busy_ns: f64,
     /// GC activity (zero when GC pressure is off).
     pub gc: GcTotals,
+    /// Block-store spill activity (`None` when spilling is disabled).
+    pub spill: Option<SpillTotals>,
 }
 
 /// Runs map executor `m` to completion: builds its partition, shuffles
@@ -79,6 +108,13 @@ pub struct MapOutcome {
 /// record waves; unprocessed records and pending queues are the roots
 /// (and get relocated), everything already serialized is reclaimed, and
 /// the simulated pause is charged to the mapper's clock.
+///
+/// With `cfg.spill_bytes` set, serialized batches go into a per-mapper
+/// [`BlockStore`] as they are produced — batches past the budget spill
+/// to a simulated SSD — and are read back in flush order once the input
+/// is exhausted (the shuffle-file serve), so each message's
+/// `ser_done_ns` becomes its retrieval completion and all disk time
+/// lands on the mapper's clock.
 pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome {
     let part = cfg.agg().build_partition(m);
     let mut heap = part.heap;
@@ -100,11 +136,20 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
     let mut pause_total = 0.0f64;
     let mut ser_busy = 0.0f64;
     let mut gc = GcTotals::default();
+    // Shuffle batches have no cheap lineage: evictions always spill.
+    let mut blocks = (cfg.spill_bytes > 0).then(|| {
+        BlockStore::new(StoreConfig {
+            memory_budget: cfg.spill_bytes,
+            disk: sim::DiskConfig::ssd(),
+            policy: MissPolicy::Fetch,
+        })
+    });
 
     let mut flush = |dst: usize,
                      pending: &mut Vec<Addr>,
                      heap: &mut sdheap::Heap,
                      engine: &mut Engine,
+                     blocks: &mut Option<BlockStore>,
                      clock: &mut f64,
                      pause_total: f64| {
         if pending.is_empty() {
@@ -126,6 +171,16 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
         };
         *clock = clock.max(ser_done);
         ser_busy += t.busy_ns;
+        let bytes = match blocks {
+            // Batches park in the block store until serve time; eviction
+            // spill writes are charged to the mapper's clock here.
+            Some(store) => {
+                let (_, done) = store.put(bytes, f64::INFINITY, *clock);
+                *clock = done;
+                Vec::new()
+            }
+            None => bytes,
+        };
         messages.push(Message {
             src: m,
             dst,
@@ -151,7 +206,7 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
             pending[dst].push(r);
             if pending[dst].len() as u64 * RECORD_HEAP_BYTES >= cfg.flush_bytes {
                 let mut q = std::mem::take(&mut pending[dst]);
-                flush(dst, &mut q, &mut heap, &mut engine, &mut clock, pause_total);
+                flush(dst, &mut q, &mut heap, &mut engine, &mut blocks, &mut clock, pause_total);
                 pending[dst] = q;
             }
             i += 1;
@@ -184,15 +239,38 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
     }
     for dst in 0..reducers {
         let mut q = std::mem::take(&mut pending[dst]);
-        flush(dst, &mut q, &mut heap, &mut engine, &mut clock, pause_total);
+        flush(dst, &mut q, &mut heap, &mut engine, &mut blocks, &mut clock, pause_total);
         pending[dst] = q;
     }
     drop(flush);
+
+    // Serve the shuffle files: read every batch back out of the store in
+    // flush order. Resident batches are free; spilled ones pay the disk,
+    // on the mapper's clock. Each message completes — and so becomes
+    // sendable — when its batch is back in memory.
+    let spill = blocks.map(|mut store| {
+        let mut none = NoLineage;
+        for (i, msg) in messages.iter_mut().enumerate() {
+            let access = store.get(i, clock, &mut none);
+            clock = access.done_ns;
+            msg.bytes = store.bytes(i).expect("fetch policy retains every block").to_vec();
+            msg.ser_done_ns = clock;
+        }
+        let s = store.stats();
+        SpillTotals {
+            spills: s.spills,
+            spilled_bytes: s.spilled_bytes,
+            spill_ns: s.spill_ns,
+            fetches: s.disk_fetches,
+            fetch_ns: s.fetch_ns,
+        }
+    });
 
     MapOutcome {
         messages,
         clock_ns: clock,
         ser_busy_ns: ser_busy,
         gc,
+        spill,
     }
 }

@@ -28,30 +28,32 @@
 //!   relocated, shipped batches become reclaimable garbage, and the
 //!   collector's simulated pause
 //!   ([`sdheap::GcStats::simulated_cost_ns`]) is charged into the
-//!   mapper's timeline.
+//!   mapper's timeline;
+//! * **map-side spill** — with [`ShuffleConfig::spill_bytes`] set, each
+//!   mapper's serialized batches live in a [`store::BlockStore`]:
+//!   batches past the budget spill to a simulated SSD and are read back
+//!   when the shuffle files are served, with the disk time charged on
+//!   the mapper's clock.
 //!
 //! Executors really run on threads ([`ShuffleConfig::jobs`]), but every
 //! number in the report is composed from per-executor simulated clocks
 //! in a fixed order, so the report is byte-identical for any job count —
 //! enforced by test.
 
-pub mod engine;
 pub mod exec;
 pub mod reduce;
 pub mod report;
 pub mod service;
 pub mod timeline;
 
-pub(crate) mod par;
-
-pub use engine::Backend;
-pub use exec::{GcTotals, MapOutcome, Message};
+pub use exec::{GcTotals, MapOutcome, Message, SpillTotals};
+pub use store::Backend;
 pub use report::{BackendReport, ShuffleReport};
 pub use service::{run_backend, run_suite, BackendRun};
 pub use timeline::NetStats;
 
 use sim::LinkConfig;
-use workloads::AggConfig;
+use workloads::{AggConfig, KeySkew};
 
 /// Shuffle service configuration.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +68,9 @@ pub struct ShuffleConfig {
     pub distinct_keys: u64,
     /// Dataset seed.
     pub seed: u64,
+    /// Key popularity distribution — [`KeySkew::Zipf`] concentrates
+    /// records on the hot reducers.
+    pub skew: KeySkew,
     /// Coalescing threshold: a partition's pending records are flushed
     /// into one serialized batch once their estimated heap bytes reach
     /// this size (the remainder flushes at end of input).
@@ -74,6 +79,12 @@ pub struct ShuffleConfig {
     /// reducer's in-flight (sent but not yet deserialized) bytes would
     /// exceed this.
     pub watermark_bytes: u64,
+    /// Map-side spill threshold: each mapper keeps its serialized
+    /// batches in a [`store::BlockStore`] with this memory budget, so
+    /// batches past the budget spill to a simulated SSD and are read
+    /// back (both charged on the mapper's clock) when the shuffle files
+    /// are served. `0` disables the store (batches stay in memory).
+    pub spill_bytes: u64,
     /// Pair-link model for the fabric.
     pub link: LinkConfig,
     /// Display name for the link preset.
@@ -95,8 +106,10 @@ impl ShuffleConfig {
             records_per_mapper: 256,
             distinct_keys: 32,
             seed: 0x5EED_0BEE,
+            skew: KeySkew::Uniform,
             flush_bytes: 4 << 10,
             watermark_bytes: 16 << 10,
+            spill_bytes: 0,
             link: LinkConfig::ten_gbe(),
             link_name: "10GbE",
             gc_pressure: false,
@@ -113,8 +126,10 @@ impl ShuffleConfig {
             records_per_mapper: 2048,
             distinct_keys: 256,
             seed: 0x5EED_0BEE,
+            skew: KeySkew::Uniform,
             flush_bytes: 16 << 10,
             watermark_bytes: 64 << 10,
+            spill_bytes: 0,
             link: LinkConfig::ten_gbe(),
             link_name: "10GbE",
             gc_pressure: false,
@@ -130,6 +145,7 @@ impl ShuffleConfig {
             records_per_mapper: self.records_per_mapper,
             distinct_keys: self.distinct_keys,
             seed: self.seed,
+            skew: self.skew,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The reduce-side executor: deserialize incoming batches, fold by key.
 
-use crate::engine::{Backend, Engine};
 use crate::exec::Message;
+use store::{Backend, Engine};
 use sdheap::{Addr, KlassRegistry};
 use std::collections::BTreeMap;
 

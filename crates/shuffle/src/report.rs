@@ -4,7 +4,7 @@
 //! counters — nothing wall-clock, nothing machine-dependent — so the
 //! rendered JSON is byte-identical across runs and job counts.
 
-use crate::exec::GcTotals;
+use crate::exec::{GcTotals, SpillTotals};
 use crate::timeline::NetStats;
 use crate::ShuffleConfig;
 
@@ -29,6 +29,8 @@ pub struct BackendReport {
     pub net: NetStats,
     /// GC activity summed over mappers (`None` when GC pressure is off).
     pub gc: Option<GcTotals>,
+    /// Spill activity summed over mappers (`None` when spilling is off).
+    pub spill: Option<SpillTotals>,
     /// FNV-1a digest of the merged `(key, count, sum)` aggregate —
     /// identical across backends, coalescing settings and job counts.
     pub fold_checksum: u64,
@@ -51,12 +53,20 @@ impl BackendReport {
                 g.collections, g.pause_ns, g.reclaimed_bytes, g.live_bytes
             ),
         };
+        let spill = match &self.spill {
+            None => "null".to_string(),
+            Some(s) => format!(
+                "{{\"spills\": {}, \"spilled_bytes\": {}, \"spill_ns\": {:.3}, \"fetches\": {}, \"fetch_ns\": {:.3}}}",
+                s.spills, s.spilled_bytes, s.spill_ns, s.fetches, s.fetch_ns
+            ),
+        };
         format!(
             "    {{\"name\": \"{}\", \"messages\": {}, \"wire_bytes\": {}, \"records\": {},\n\
              \x20     \"ser_busy_ns\": {:.3}, \"map_makespan_ns\": {:.3}, \"de_busy_ns\": {:.3},\n\
              \x20     \"net_ns\": {:.3}, \"makespan_ns\": {:.3}, \"records_per_sec\": {:.1},\n\
              \x20     \"backpressure_blocks\": {}, \"backpressure_wait_ns\": {:.3},\n\
-             \x20     \"ingress_utilization\": {:.4}, \"gc\": {}, \"fold_checksum\": \"{:016x}\"}}",
+             \x20     \"ingress_utilization\": {:.4}, \"gc\": {}, \"spill\": {},\n\
+             \x20     \"fold_checksum\": \"{:016x}\"}}",
             self.name,
             self.messages,
             self.wire_bytes,
@@ -71,6 +81,7 @@ impl BackendReport {
             self.net.backpressure_wait_ns,
             self.net.ingress_utilization,
             gc,
+            spill,
             self.fold_checksum,
         )
     }
@@ -96,8 +107,9 @@ impl ShuffleReport {
              \x20 \"generated_by\": \"shuffle service\",\n\
              \x20 \"config\": {{\n\
              \x20   \"mappers\": {}, \"reducers\": {}, \"records_per_mapper\": {},\n\
-             \x20   \"distinct_keys\": {}, \"seed\": {}, \"flush_bytes\": {},\n\
-             \x20   \"watermark_bytes\": {}, \"link\": \"{}\", \"gc_pressure\": {}, \"gc_waves\": {}\n\
+             \x20   \"distinct_keys\": {}, \"seed\": {}, \"skew\": \"{}\", \"flush_bytes\": {},\n\
+             \x20   \"watermark_bytes\": {}, \"spill_bytes\": {}, \"link\": \"{}\",\n\
+             \x20   \"gc_pressure\": {}, \"gc_waves\": {}\n\
              \x20 }},\n\
              \x20 \"backends\": [\n{}\n\x20 ]\n\
              }}\n",
@@ -106,8 +118,10 @@ impl ShuffleReport {
             c.records_per_mapper,
             c.distinct_keys,
             c.seed,
+            c.skew.label(),
             c.flush_bytes,
             c.watermark_bytes,
+            c.spill_bytes,
             c.link_name,
             c.gc_pressure,
             c.gc_waves,

@@ -1,14 +1,13 @@
 //! The shuffle service top level: fan the executors out over threads,
 //! stitch their simulated clocks into one deterministic report.
 
-use crate::engine::Backend;
-use crate::exec::{run_mapper, GcTotals, MapOutcome, Message};
-use crate::par::par_map;
+use crate::exec::{run_mapper, GcTotals, MapOutcome, Message, SpillTotals};
 use crate::reduce::{run_reducer, ReduceOutcome};
 use crate::report::{fold_checksum, BackendReport, ShuffleReport};
 use crate::timeline::compose;
 use crate::ShuffleConfig;
 use std::collections::BTreeMap;
+use store::{par_map, Backend};
 
 /// One backend's full run: the report plus the merged aggregate (kept
 /// out of the report; tests check it against the dataset's expected
@@ -69,8 +68,12 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
     }
 
     let mut gc_totals = GcTotals::default();
+    let mut spill_totals = SpillTotals::default();
     for o in &maps {
         gc_totals.merge(&o.gc);
+        if let Some(s) = &o.spill {
+            spill_totals.merge(s);
+        }
     }
     let report = BackendReport {
         name: backend.name(),
@@ -82,6 +85,7 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
         de_busy_ns: reduces.iter().map(|o| o.de_busy_ns).sum(),
         net,
         gc: cfg.gc_pressure.then_some(gc_totals),
+        spill: (cfg.spill_bytes > 0).then_some(spill_totals),
         fold_checksum: fold_checksum(&fold),
     };
     BackendRun { report, fold }

@@ -1,7 +1,9 @@
 //! End-to-end shuffle service tests: thread-count determinism,
-//! backpressure, coalescing, GC pressure, and cross-backend agreement.
+//! backpressure, coalescing, GC pressure, spilling, key skew, and
+//! cross-backend agreement.
 
 use shuffle::{run_backend, run_suite, Backend, ShuffleConfig};
+use workloads::KeySkew;
 
 fn tiny() -> ShuffleConfig {
     ShuffleConfig {
@@ -138,6 +140,76 @@ fn gc_pressure_reports_collections_and_charges_pauses() {
     let baseline = run_backend(&no_gc, Backend::Kryo);
     assert!(run.report.map_makespan_ns > baseline.report.map_makespan_ns);
     assert_eq!(run.report.fold_checksum, baseline.report.fold_checksum);
+}
+
+#[test]
+fn spill_threshold_routes_batches_through_the_store() {
+    // A one-byte budget forces every flushed batch out to the simulated
+    // SSD and back in at serve time.
+    let mut spilling = tiny();
+    spilling.spill_bytes = 1;
+    let spilled = run_backend(&spilling, Backend::Kryo);
+    let totals = spilled.report.spill.expect("spill totals present when spilling is on");
+    assert_eq!(totals.spills, spilled.report.messages, "every batch spilled");
+    assert_eq!(totals.fetches, spilled.report.messages, "every batch read back");
+    assert!(totals.spilled_bytes >= spilled.report.wire_bytes);
+    assert!(totals.spill_ns > 0.0 && totals.fetch_ns > 0.0);
+
+    // The store is a detour, not a transformation: identical bytes on
+    // the wire, identical aggregate, and a later map stage.
+    let baseline = run_backend(&tiny(), Backend::Kryo);
+    assert!(baseline.report.spill.is_none());
+    assert_eq!(spilled.report.wire_bytes, baseline.report.wire_bytes);
+    assert_eq!(spilled.report.fold_checksum, baseline.report.fold_checksum);
+    assert!(spilled.report.map_makespan_ns > baseline.report.map_makespan_ns);
+
+    // A budget above the mapper's whole output never touches the disk.
+    let mut roomy = tiny();
+    roomy.spill_bytes = u64::MAX;
+    let held = run_backend(&roomy, Backend::Kryo);
+    let totals = held.report.spill.expect("store engaged");
+    assert_eq!(totals.spills, 0);
+    assert_eq!(totals.spill_ns, 0.0);
+    assert_eq!(held.report.fold_checksum, baseline.report.fold_checksum);
+
+    // Spilling composes with thread fan-out deterministically.
+    let mut jobs4 = spilling;
+    jobs4.jobs = 4;
+    let report_one = run_suite(&spilling, &[Backend::Kryo]).to_json();
+    let report_four = run_suite(&jobs4, &[Backend::Kryo]).to_json();
+    assert_eq!(report_one, report_four);
+}
+
+#[test]
+fn zipf_skew_engages_backpressure_on_the_hot_reducer() {
+    // Skewed keys concentrate traffic on few reducers; with a watermark
+    // sized so uniform traffic just clears, the hot reducer's queue
+    // must block its senders.
+    let mut uniform = tiny();
+    uniform.records_per_mapper = 256;
+    uniform.watermark_bytes = 6 << 10;
+    let mut skewed = uniform;
+    skewed.skew = KeySkew::Zipf(1.4);
+
+    let u = run_backend(&uniform, Backend::Kryo);
+    let z = run_backend(&skewed, Backend::Kryo);
+    assert!(
+        z.report.net.backpressure_blocks > u.report.net.backpressure_blocks,
+        "skew must increase watermark blocking: {} vs {}",
+        z.report.net.backpressure_blocks,
+        u.report.net.backpressure_blocks
+    );
+    assert!(z.report.net.backpressure_blocks > 0);
+    assert!(z.report.net.backpressure_wait_ns > 0.0);
+    // Skew shifts traffic, not records: all arrive, on fewer keys.
+    assert_eq!(z.report.records, u.report.records);
+    assert!(z.fold.len() <= u.fold.len());
+    // And the skewed dataset still folds to its own expected aggregate.
+    let expected = skewed.agg().expected_fold();
+    assert_eq!(z.fold.len(), expected.len());
+    for (k, &(count, _)) in &expected {
+        assert_eq!(z.fold[k].0, count, "count for key {k}");
+    }
 }
 
 #[test]

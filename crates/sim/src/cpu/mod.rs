@@ -278,10 +278,12 @@ impl Cpu {
     pub fn dram(&self) -> &Dram {
         &self.dram
     }
-}
 
-impl TraceSink for Cpu {
-    fn op(&mut self, op: Op) {
+    /// Executes one traced operation. This is the single implementation
+    /// behind both [`TraceSink::op`] and the batched [`TraceSink::ops`]
+    /// slice path, so the two are bit-identical by construction
+    /// (golden-tested in `tests/prop_timing.rs`).
+    pub fn exec(&mut self, op: Op) {
         let costs = self.cfg.costs;
         match op {
             Op::Load {
@@ -328,6 +330,22 @@ impl TraceSink for Cpu {
                     costs.alloc_base_uops + bytes.div_ceil(costs.alloc_zero_bytes_per_uop),
                 );
             }
+        }
+    }
+}
+
+impl TraceSink for Cpu {
+    fn op(&mut self, op: Op) {
+        self.exec(op);
+    }
+
+    /// Slice consumption: one virtual call covers the whole batch, and
+    /// the per-op loop below is monomorphic — the point of trace
+    /// batching. The op sequence (and therefore every simulated time) is
+    /// exactly what per-op delivery produces.
+    fn ops(&mut self, ops: &[Op]) {
+        for &op in ops {
+            self.exec(op);
         }
     }
 }

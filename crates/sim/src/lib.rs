@@ -14,6 +14,8 @@
 //! * [`tlb`] — the 128-entry, 1 GB-huge-page TLB.
 //! * [`net`] — a point-to-point network link for end-to-end shuffle
 //!   experiments.
+//! * [`disk`] — a block device (seek + bandwidth ledger) for the block
+//!   store's spill files.
 //!
 //! The `cereal` crate builds the SU/DU pipeline models on top of
 //! [`mai`]+[`dram`]; the experiment harness builds the software baselines
@@ -21,6 +23,7 @@
 
 pub mod cache;
 pub mod cpu;
+pub mod disk;
 pub mod dram;
 pub mod mai;
 pub mod net;
@@ -28,6 +31,7 @@ pub mod tlb;
 
 pub use cache::{Cache, Hierarchy, HitLevel, LevelConfig};
 pub use cpu::{Cpu, CpuConfig, CpuReport, OpCosts};
+pub use disk::{Disk, DiskConfig};
 pub use dram::{Dram, DramConfig};
 pub use mai::{Mai, MaiConfig, MaiStats, ReorderBuffer};
 pub use net::{Link, LinkConfig};

@@ -5,7 +5,8 @@
 //! in-repo PRNG so the suite runs offline.
 
 use sdheap::rng::Rng;
-use sim::{Dram, DramConfig, Hierarchy, Mai, MaiConfig, ReorderBuffer, Tlb};
+use serializers::{BufferedSink, Op, TraceSink};
+use sim::{Cpu, Dram, DramConfig, Hierarchy, Mai, MaiConfig, ReorderBuffer, Tlb};
 
 /// DRAM completions respect causality and service time; the byte meter
 /// is exact; utilization never exceeds 1.
@@ -104,6 +105,70 @@ fn reorder_buffer_is_monotone() {
             assert!(out >= last);
             assert!(out >= t);
             last = out;
+        }
+    }
+}
+
+/// Golden equivalence of the three trace delivery modes: per-op calls,
+/// one `ops` slice, and `BufferedSink`-batched delivery must produce
+/// bit-identical CPU reports — batching is a dispatch optimization, not
+/// a model change.
+#[test]
+fn cpu_batched_trace_is_bit_identical_to_per_op() {
+    let mut rng = Rng::new(0x51_0007);
+    for round in 0..10 {
+        let n = rng.gen_range_usize(100, 3000);
+        let trace: Vec<Op> = (0..n)
+            .map(|_| match rng.gen_range_u64(0, 9) {
+                0 => Op::Load {
+                    addr: 0x1000_0000 + rng.gen_range_u64(0, 1 << 24),
+                    bytes: 8,
+                    dependent: rng.gen_bool(0.5),
+                },
+                1 => Op::Store {
+                    addr: 0x4000_0000 + rng.gen_range_u64(0, 1 << 24),
+                    bytes: 8,
+                },
+                2 => Op::Alu(rng.gen_range_u64(1, 40) as u32),
+                3 => Op::Branch,
+                4 => Op::Call,
+                5 => Op::ReflectCall,
+                6 => Op::StrCompare(rng.gen_range_u64(1, 64) as u32),
+                7 => Op::HashLookup,
+                _ => Op::Alloc(rng.gen_range_u64(8, 512) as u32),
+            })
+            .collect();
+
+        let mut per_op = Cpu::host();
+        for &op in &trace {
+            per_op.op(op);
+        }
+        let mut sliced = Cpu::host();
+        sliced.ops(&trace);
+        let mut buffered = Cpu::host();
+        {
+            let mut sink = BufferedSink::new(&mut buffered);
+            for &op in &trace {
+                sink.op(op);
+            }
+        }
+
+        let a = per_op.report();
+        for (label, r) in [("slice", sliced.report()), ("buffered", buffered.report())] {
+            assert_eq!(a.cycles.to_bits(), r.cycles.to_bits(), "round {round} {label} cycles");
+            assert_eq!(a.ns.to_bits(), r.ns.to_bits(), "round {round} {label} ns");
+            assert_eq!(a.uops, r.uops, "round {round} {label} uops");
+            assert_eq!(a.dram_bytes, r.dram_bytes, "round {round} {label} dram bytes");
+            assert_eq!(
+                a.llc_miss_rate.to_bits(),
+                r.llc_miss_rate.to_bits(),
+                "round {round} {label} llc"
+            );
+            assert_eq!(
+                a.bandwidth_util.to_bits(),
+                r.bandwidth_util.to_bits(),
+                "round {round} {label} bw"
+            );
         }
     }
 }

@@ -3,7 +3,9 @@
 //! Every executor owns one engine: a software [`Serializer`] timed on a
 //! fresh [`sim::Cpu`] host-core model per request (the harness's
 //! convention), or a private Cereal [`Accelerator`] whose unit models
-//! time and schedule requests internally.
+//! time and schedule requests internally. The engine lives here (rather
+//! than in `shuffle`) because both the shuffle service and the block
+//! store serialize through it.
 
 use cereal::Accelerator;
 use sdheap::{Addr, Heap, KlassRegistry};
@@ -11,9 +13,9 @@ use serializers::{JavaSd, JsonLike, Kryo, ProtoLike, Serializer, Skyway};
 use sim::Cpu;
 
 /// Destination-heap base for reconstruction (clear of every source).
-pub(crate) const DST_BASE: u64 = 0x40_0000_0000;
+pub const DST_BASE: u64 = 0x40_0000_0000;
 
-/// A serialization backend the shuffle can run on.
+/// A serialization backend an executor can run on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
     /// Java built-in serialization model.
@@ -57,7 +59,7 @@ impl Backend {
 }
 
 /// Timing of one engine-serialized batch.
-pub(crate) struct SerTiming {
+pub struct SerTiming {
     /// Time the engine was busy with this request.
     pub busy_ns: f64,
     /// Completion time on the engine's own timeline (accelerators
@@ -67,12 +69,16 @@ pub(crate) struct SerTiming {
 }
 
 /// One executor's engine.
-pub(crate) enum Engine {
+pub enum Engine {
+    /// A software serializer baseline.
     Software(Box<dyn Serializer>),
+    /// A private Cereal accelerator.
     Cereal(Box<Accelerator>),
 }
 
 impl Engine {
+    /// Builds the engine for `backend`, registering every class of `reg`
+    /// with the accelerator's hardware table when applicable.
     pub fn new(backend: Backend, reg: &KlassRegistry) -> Engine {
         match backend {
             Backend::Java => Engine::Software(Box::new(JavaSd::new())),

@@ -1,0 +1,290 @@
+//! An iterative Spark-like job over a cached, serialized dataset.
+//!
+//! The job materializes an [`workloads::AggConfig`] dataset as one
+//! serialized block per partition in a [`BlockStore`], then re-reads the
+//! whole dataset for `passes` iterations — the canonical iterative
+//! workload (e.g. gradient descent over a cached training set) that
+//! Spark's `MEMORY_SER` storage level serves. Every pass pays
+//! deserialization on hits (serialized caching trades CPU for space —
+//! the paper's motivation), disk time on fetches, and full lineage
+//! recomputation (graph rebuild + GC pressure + re-serialization) on
+//! dropped blocks.
+//!
+//! Determinism: partition builds fan out over real threads
+//! ([`RddConfig::jobs`]) but produce only per-partition values; the
+//! store simulation itself is a second, strictly sequential phase over
+//! those values, so every reported number is byte-identical for any job
+//! count (test-enforced).
+
+use std::collections::BTreeMap;
+
+use sdheap::gc;
+use sdheap::rng::Rng;
+use sdheap::{Addr, Heap, KlassRegistry};
+use sim::DiskConfig;
+use workloads::AggConfig;
+
+use crate::block::{AccessOutcome, BlockSource, BlockStore, MissPolicy, StoreConfig, StoreStats};
+use crate::engine::{Backend, Engine};
+use crate::par::par_map;
+
+/// Order in which a pass visits the cached partitions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AccessPattern {
+    /// Every partition once, in order — the full-scan iteration.
+    Scan,
+    /// `partitions` Zipf-distributed samples per pass (hot partitions
+    /// re-read, cold ones starved) with the given skew exponent.
+    Zipf(f64),
+}
+
+impl AccessPattern {
+    /// Display label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            AccessPattern::Scan => "scan".to_string(),
+            AccessPattern::Zipf(theta) => format!("zipf({theta:.2})"),
+        }
+    }
+}
+
+/// Cached-RDD job configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RddConfig {
+    /// The dataset; one block per mapper partition.
+    pub agg: AggConfig,
+    /// Serialization backend for every block.
+    pub backend: Backend,
+    /// Memory region as a fraction of the dataset's serialized size.
+    pub memory_fraction: f64,
+    /// Re-read passes after materialization.
+    pub passes: usize,
+    /// Eviction/miss policy.
+    pub policy: MissPolicy,
+    /// Spill device model.
+    pub disk: DiskConfig,
+    /// Pass access order.
+    pub access: AccessPattern,
+    /// Worker threads for partition builds (does not affect results).
+    pub jobs: usize,
+}
+
+/// One partition, built and measured (phase 1, parallel).
+pub struct PartBuild {
+    /// The serialized block.
+    pub bytes: Vec<u8>,
+    /// Engine busy time serializing the block.
+    pub ser_ns: f64,
+    /// Engine busy time deserializing the block (paid on every re-read).
+    pub de_ns: f64,
+    /// Lineage rebuild cost: GC pressure of reconstructing the graph
+    /// plus re-serialization.
+    pub recompute_ns: f64,
+    /// Per-key `(count, sum)` folded from the reconstructed heap.
+    pub fold: BTreeMap<u64, (u64, f64)>,
+}
+
+/// Per-pass counters (deltas over the pass).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassStats {
+    /// Accesses served from memory.
+    pub hits: u64,
+    /// Accesses served from disk.
+    pub disk_fetches: u64,
+    /// Accesses recomputed from lineage.
+    pub recomputes: u64,
+    /// Simulated time the pass took (store time + deserialization).
+    pub ns: f64,
+}
+
+/// Everything one cached-RDD job produced.
+pub struct RddOutcome {
+    /// Serialized dataset size (sum of block lengths).
+    pub dataset_bytes: u64,
+    /// The store's memory budget.
+    pub budget_bytes: u64,
+    /// Simulated time to build, serialize and cache every partition.
+    pub materialize_ns: f64,
+    /// Per-pass counters, in pass order.
+    pub passes: Vec<PassStats>,
+    /// End-to-end simulated time (materialization + every pass).
+    pub total_ns: f64,
+    /// Store lifetime counters.
+    pub store: StoreStats,
+    /// Spill-device read bytes.
+    pub disk_read_bytes: u64,
+    /// Spill-device write bytes.
+    pub disk_write_bytes: u64,
+    /// Spill-device seeks.
+    pub disk_seeks: u64,
+    /// Whether every reconstructed fold matched the source data.
+    pub fold_ok: bool,
+}
+
+/// Coalesces a partition's records into one `Object[]` batch root.
+fn coalesce(heap: &mut Heap, reg: &KlassRegistry, batch_klass: sdheap::KlassId, records: &[Addr]) -> Addr {
+    let batch = heap
+        .alloc_array(reg, batch_klass, records.len())
+        .expect("heap capacity covers the coalesced batch");
+    for (j, &r) in records.iter().enumerate() {
+        heap.set_array_elem(batch, j, r.get());
+    }
+    batch
+}
+
+/// Folds `(count, sum)` per key over a batch root.
+fn fold_batch(heap: &Heap, root: Addr) -> BTreeMap<u64, (u64, f64)> {
+    let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+    for j in 0..heap.array_len(root) {
+        let rec = Addr(heap.array_elem(root, j));
+        let key = heap.field(rec, 0);
+        let value = f64::from_bits(heap.field(rec, 1));
+        let e = fold.entry(key).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += value;
+    }
+    fold
+}
+
+/// Rebuilds partition `m` from lineage: graph construction, coalescing,
+/// a fresh engine's serialization, and the GC pressure of the rebuild
+/// ([`sdheap::GcStats::simulated_cost_ns`] over the live batch). Returns
+/// the stream, its engine busy time, and the total rebuild cost.
+fn rebuild(cfg: &RddConfig, m: usize) -> (Vec<u8>, f64, f64, Heap, KlassRegistry, Addr) {
+    let part = cfg.agg.build_partition(m);
+    let mut heap = part.heap;
+    let reg = part.reg;
+    let mut engine = Engine::new(cfg.backend, &reg);
+    if cfg.backend == Backend::Cereal {
+        // Play the GC's role once up front, as the harness does: clear
+        // any stale serialization metadata before hardware serialization.
+        heap.gc_clear_serialization_metadata(&reg);
+    }
+    let batch = coalesce(&mut heap, &reg, part.batch_klass, &part.records);
+    let (bytes, t) = engine.serialize(&mut heap, &reg, batch);
+    let (_, _, stats) =
+        gc::collect(&heap, &reg, &[batch]).expect("live batch fits the semispace");
+    let recompute_ns = stats.simulated_cost_ns() + t.busy_ns;
+    (bytes, t.busy_ns, recompute_ns, heap, reg, batch)
+}
+
+/// Builds and measures partition `m` (phase 1).
+pub fn build_part(cfg: &RddConfig, m: usize) -> PartBuild {
+    let (bytes, ser_ns, recompute_ns, heap, reg, batch) = rebuild(cfg, m);
+    let src_fold = fold_batch(&heap, batch);
+    let mut engine = Engine::new(cfg.backend, &reg);
+    let (dheap, droot, de_ns) = engine.deserialize(&bytes, &reg, cfg.agg.heap_capacity());
+    let fold = fold_batch(&dheap, droot);
+    assert_eq!(fold, src_fold, "partition {m}: reconstruction changed the fold");
+    PartBuild { bytes, ser_ns, de_ns, recompute_ns, fold }
+}
+
+/// Lineage for the job's blocks: really rebuilds the partition and
+/// asserts the stream is byte-identical to what was cached.
+struct Lineage<'a> {
+    cfg: &'a RddConfig,
+    parts: &'a [PartBuild],
+}
+
+impl BlockSource for Lineage<'_> {
+    fn recompute(&mut self, id: usize) -> (Vec<u8>, f64) {
+        let (bytes, _, recompute_ns, _, _, _) = rebuild(self.cfg, id);
+        assert_eq!(
+            bytes, self.parts[id].bytes,
+            "partition {id}: lineage recomputation must reproduce the stream"
+        );
+        (bytes, recompute_ns)
+    }
+}
+
+/// The partition visit order of pass `pass`.
+fn pass_order(cfg: &RddConfig, pass: usize) -> Vec<usize> {
+    let n = cfg.agg.mappers;
+    match cfg.access {
+        AccessPattern::Scan => (0..n).collect(),
+        AccessPattern::Zipf(theta) => {
+            let zipf = workloads::Zipf::new(n as u64, theta);
+            let mut rng = Rng::new(cfg.agg.seed ^ (0xD15C_0000 + pass as u64));
+            (0..n).map(|_| zipf.sample(&mut rng) as usize).collect()
+        }
+    }
+}
+
+/// Runs the cached-RDD job: parallel partition builds, then a sequential
+/// store simulation (materialize + `passes` re-reads).
+pub fn run_rdd(cfg: &RddConfig) -> RddOutcome {
+    let n = cfg.agg.mappers;
+    let parts: Vec<PartBuild> = par_map(cfg.jobs, n, |m| build_part(cfg, m));
+
+    // Round-trip check: merged folds (partition order) must equal the
+    // dataset's expected aggregate — exact counts, value sums to f64
+    // accumulation-order tolerance.
+    let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+    for p in &parts {
+        for (&k, &(c, s)) in &p.fold {
+            let e = fold.entry(k).or_insert((0, 0.0));
+            e.0 += c;
+            e.1 += s;
+        }
+    }
+    let expected = cfg.agg.expected_fold();
+    let fold_ok = fold.len() == expected.len()
+        && fold.iter().zip(expected.iter()).all(|((k1, (c1, s1)), (k2, (c2, s2)))| {
+            k1 == k2 && c1 == c2 && (s1 - s2).abs() <= 1e-6 * s2.abs().max(1.0)
+        });
+
+    let dataset_bytes: u64 = parts.iter().map(|p| p.bytes.len() as u64).sum();
+    let budget_bytes = (dataset_bytes as f64 * cfg.memory_fraction).ceil() as u64;
+    let mut store = BlockStore::new(StoreConfig {
+        memory_budget: budget_bytes,
+        disk: cfg.disk,
+        policy: cfg.policy,
+    });
+
+    // Phase 2: one sequential driver timeline.
+    let mut now = 0.0f64;
+    for (m, p) in parts.iter().enumerate() {
+        now += p.recompute_ns; // initial build + serialize
+        let (id, done) = store.put(p.bytes.clone(), p.recompute_ns, now);
+        debug_assert_eq!(id, m);
+        now = done;
+    }
+    let materialize_ns = now;
+
+    let mut lineage = Lineage { cfg, parts: &parts };
+    let mut passes = Vec::with_capacity(cfg.passes);
+    for pass in 0..cfg.passes {
+        let before = store.stats();
+        let start = now;
+        for m in pass_order(cfg, pass) {
+            let access = store.get(m, now, &mut lineage);
+            now = access.done_ns;
+            match access.outcome {
+                // Serialized caching pays deserialization on every read;
+                // recomputation hands over the live graph directly.
+                AccessOutcome::Hit | AccessOutcome::DiskFetch => now += parts[m].de_ns,
+                AccessOutcome::Recomputed => {}
+            }
+        }
+        let after = store.stats();
+        passes.push(PassStats {
+            hits: after.hits - before.hits,
+            disk_fetches: after.disk_fetches - before.disk_fetches,
+            recomputes: after.recomputes - before.recomputes,
+            ns: now - start,
+        });
+    }
+
+    RddOutcome {
+        dataset_bytes,
+        budget_bytes,
+        materialize_ns,
+        passes,
+        total_ns: now,
+        store: store.stats(),
+        disk_read_bytes: store.disk().read_bytes(),
+        disk_write_bytes: store.disk().write_bytes(),
+        disk_seeks: store.disk().seeks(),
+        fold_ok,
+    }
+}

@@ -1,0 +1,180 @@
+//! Store-suite reports and their JSON rendering.
+//!
+//! Every field is derived from simulated clocks and deterministic
+//! counters — nothing wall-clock, nothing machine-dependent — so the
+//! rendered JSON is byte-identical across runs and job counts
+//! (test- and CI-enforced for `--jobs 1` vs `--jobs 4`).
+
+use crate::rdd::{run_rdd, AccessPattern, RddConfig, RddOutcome};
+
+/// One cached-RDD run: the knobs that varied plus the outcome.
+pub struct RunRecord {
+    /// Backend display name.
+    pub backend: &'static str,
+    /// Memory budget as a fraction of the serialized dataset.
+    pub memory_fraction: f64,
+    /// Policy display name.
+    pub policy: &'static str,
+    /// Spill-device display name.
+    pub disk: &'static str,
+    /// Access-pattern label.
+    pub access: String,
+    /// The run's measurements.
+    pub outcome: RddOutcome,
+}
+
+impl RunRecord {
+    /// Runs one configuration and records it.
+    pub fn run(cfg: &RddConfig) -> RunRecord {
+        RunRecord {
+            backend: cfg.backend.name(),
+            memory_fraction: cfg.memory_fraction,
+            policy: cfg.policy.name(),
+            disk: cfg.disk.name,
+            access: cfg.access.label(),
+            outcome: run_rdd(cfg),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let o = &self.outcome;
+        let s = &o.store;
+        let passes: Vec<String> = o
+            .passes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"hits\": {}, \"disk_fetches\": {}, \"recomputes\": {}, \"ns\": {:.3}}}",
+                    p.hits, p.disk_fetches, p.recomputes, p.ns
+                )
+            })
+            .collect();
+        format!(
+            "    {{\"backend\": \"{}\", \"memory_fraction\": {:.2}, \"policy\": \"{}\",\n\
+             \x20     \"disk\": \"{}\", \"access\": \"{}\",\n\
+             \x20     \"dataset_bytes\": {}, \"budget_bytes\": {},\n\
+             \x20     \"hits\": {}, \"disk_fetches\": {}, \"recomputes\": {},\n\
+             \x20     \"evictions\": {}, \"evicted_bytes\": {}, \"spills\": {}, \"spilled_bytes\": {},\n\
+             \x20     \"disk_read_bytes\": {}, \"disk_write_bytes\": {}, \"disk_seeks\": {},\n\
+             \x20     \"materialize_ns\": {:.3}, \"total_ns\": {:.3}, \"fold_ok\": {},\n\
+             \x20     \"passes\": [{}]}}",
+            self.backend,
+            self.memory_fraction,
+            self.policy,
+            self.disk,
+            self.access,
+            o.dataset_bytes,
+            o.budget_bytes,
+            s.hits,
+            s.disk_fetches,
+            s.recomputes,
+            s.evictions,
+            s.evicted_bytes,
+            s.spills,
+            s.spilled_bytes,
+            o.disk_read_bytes,
+            o.disk_write_bytes,
+            o.disk_seeks,
+            o.materialize_ns,
+            o.total_ns,
+            o.fold_ok,
+            passes.join(", ")
+        )
+    }
+}
+
+/// A full store-suite run.
+pub struct StoreReport {
+    /// Dataset partitions (= mappers).
+    pub partitions: usize,
+    /// Records per partition.
+    pub records_per_partition: usize,
+    /// Distinct aggregation keys.
+    pub distinct_keys: u64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Re-read passes per run.
+    pub passes: usize,
+    /// The runs, in matrix order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl StoreReport {
+    /// Renders the report as deterministic JSON (job count and wall
+    /// clock deliberately excluded).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.runs.iter().map(RunRecord::to_json).collect();
+        format!(
+            "{{\n\
+             \x20 \"generated_by\": \"block store suite\",\n\
+             \x20 \"config\": {{\n\
+             \x20   \"partitions\": {}, \"records_per_partition\": {}, \"distinct_keys\": {},\n\
+             \x20   \"seed\": {}, \"passes\": {}\n\
+             \x20 }},\n\
+             \x20 \"runs\": [\n{}\n\x20 ]\n\
+             }}\n",
+            self.partitions,
+            self.records_per_partition,
+            self.distinct_keys,
+            self.seed,
+            self.passes,
+            rows.join(",\n")
+        )
+    }
+}
+
+/// The standard suite matrix: every requested backend at every memory
+/// fraction (scan access, auto policy, SSD), then a policy-crossover
+/// section (HDD vs NVMe × fetch/recompute/auto on Kryo), then a
+/// skewed-re-read section showing the hit-rate gradient under Zipf
+/// access.
+pub fn run_suite(
+    base: &RddConfig,
+    backends: &[crate::Backend],
+    fractions: &[f64],
+) -> StoreReport {
+    let mut runs = Vec::new();
+    for &backend in backends {
+        for &frac in fractions {
+            runs.push(RunRecord::run(&RddConfig {
+                backend,
+                memory_fraction: frac,
+                ..*base
+            }));
+        }
+    }
+    // Policy crossover: a slow-seek device flips the auto policy to
+    // recomputation, a fast one to fetching.
+    for disk in [sim::DiskConfig::hdd(), sim::DiskConfig::nvme()] {
+        for policy in [
+            crate::MissPolicy::Fetch,
+            crate::MissPolicy::Recompute,
+            crate::MissPolicy::Auto,
+        ] {
+            runs.push(RunRecord::run(&RddConfig {
+                backend: crate::Backend::Kryo,
+                memory_fraction: 0.5,
+                policy,
+                disk,
+                ..*base
+            }));
+        }
+    }
+    // Skewed re-reads: hot partitions stay resident, the tail thrashes.
+    for &frac in fractions {
+        runs.push(RunRecord::run(&RddConfig {
+            backend: crate::Backend::Kryo,
+            memory_fraction: frac,
+            access: AccessPattern::Zipf(1.1),
+            ..*base
+        }));
+    }
+    StoreReport {
+        partitions: base.agg.mappers,
+        records_per_partition: base.agg.records_per_mapper,
+        distinct_keys: base.agg.distinct_keys,
+        seed: base.agg.seed,
+        passes: base.passes,
+        runs,
+    }
+}

@@ -20,6 +20,7 @@
 //! record order) without touching a heap — the shuffle service's
 //! correctness anchor.
 
+use crate::zipf::Zipf;
 use sdheap::builder::Init;
 use sdheap::rng::Rng;
 use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassId, KlassRegistry, ValueType};
@@ -33,6 +34,42 @@ pub const PAYLOAD_WORDS: usize = 8;
 /// the shuffle service's coalescing estimate.
 pub const RECORD_HEAP_BYTES: u64 = (6 + 4 + PAYLOAD_WORDS as u64) * 8;
 
+/// Key-popularity distribution of the generated records.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeySkew {
+    /// Keys drawn uniformly from `[0, distinct_keys)`.
+    Uniform,
+    /// Keys drawn Zipf(θ)-skewed: key `k` has probability `∝ (k+1)^-θ`,
+    /// so key 0 is the hottest — and lands on reducer 0 under the
+    /// shuffle's `key % reducers` routing.
+    Zipf(f64),
+}
+
+impl KeySkew {
+    /// Display form used in report JSON (`"uniform"`, `"zipf(1.10)"`).
+    pub fn label(&self) -> String {
+        match self {
+            KeySkew::Uniform => "uniform".to_string(),
+            KeySkew::Zipf(theta) => format!("zipf({theta:.2})"),
+        }
+    }
+}
+
+/// One mapper's key source: uniform draw or a precomputed Zipf CDF.
+enum KeySampler {
+    Uniform(u64),
+    Zipf(Zipf),
+}
+
+impl KeySampler {
+    fn draw(&self, rng: &mut Rng) -> u64 {
+        match self {
+            KeySampler::Uniform(n) => rng.gen_range_u64(0, *n),
+            KeySampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
 /// Aggregation dataset parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct AggConfig {
@@ -40,8 +77,10 @@ pub struct AggConfig {
     pub mappers: usize,
     /// Records per mapper.
     pub records_per_mapper: usize,
-    /// Key space: keys are drawn uniformly from `[0, distinct_keys)`.
+    /// Key space: keys are drawn from `[0, distinct_keys)`.
     pub distinct_keys: u64,
+    /// Key-popularity distribution.
+    pub skew: KeySkew,
     /// Base PRNG seed; mapper `m` derives its own stream from it.
     pub seed: u64,
 }
@@ -70,6 +109,13 @@ impl AggConfig {
 
     fn rng_for(&self, mapper: usize) -> Rng {
         Rng::new(self.seed ^ (mapper as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn key_sampler(&self) -> KeySampler {
+        match self.skew {
+            KeySkew::Uniform => KeySampler::Uniform(self.distinct_keys),
+            KeySkew::Zipf(theta) => KeySampler::Zipf(Zipf::new(self.distinct_keys, theta)),
+        }
     }
 
     /// Registers the workload's klasses in a fixed order, so every
@@ -105,10 +151,11 @@ impl AggConfig {
         assert!(m < self.mappers, "mapper {m} out of {}", self.mappers);
         let mut b = GraphBuilder::new(self.heap_capacity());
         let (payload_k, event_k, batch_klass) = Self::install_klasses(&mut b);
+        let sampler = self.key_sampler();
         let mut rng = self.rng_for(m);
         let mut records = Vec::with_capacity(self.records_per_mapper);
         for _ in 0..self.records_per_mapper {
-            let key = rng.gen_range_u64(0, self.distinct_keys);
+            let key = sampler.draw(&mut rng);
             let value = rng.gen_range_f64(0.0, 100.0);
             let payload: Vec<u64> = (0..PAYLOAD_WORDS).map(|_| rng.next_u64()).collect();
             let arr = b.value_array(payload_k, &payload).expect("capacity sized for records");
@@ -139,10 +186,11 @@ impl AggConfig {
     /// so sums match bit for bit.
     pub fn expected_fold(&self) -> BTreeMap<u64, (u64, f64)> {
         let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+        let sampler = self.key_sampler();
         for m in 0..self.mappers {
             let mut rng = self.rng_for(m);
             for _ in 0..self.records_per_mapper {
-                let key = rng.gen_range_u64(0, self.distinct_keys);
+                let key = sampler.draw(&mut rng);
                 let value = rng.gen_range_f64(0.0, 100.0);
                 for _ in 0..PAYLOAD_WORDS {
                     rng.next_u64();
@@ -165,6 +213,7 @@ mod tests {
             mappers: 3,
             records_per_mapper: 40,
             distinct_keys: 8,
+            skew: KeySkew::Uniform,
             seed: 7,
         }
     }
@@ -196,6 +245,44 @@ mod tests {
         let kid = part.heap.klass_of(&part.reg, part.records[0]);
         assert_eq!(reg.get(kid).name(), part.reg.get(kid).name());
         assert_eq!(reg.get(part.batch_klass).name(), "Object[]");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_keys_and_replays_in_expected_fold() {
+        let mut cfg = tiny();
+        cfg.records_per_mapper = 400;
+        cfg.distinct_keys = 16;
+        cfg.skew = KeySkew::Zipf(1.2);
+        let expected = cfg.expected_fold();
+        // Key 0 is the hottest by a wide margin.
+        let hot = expected[&0].0;
+        let total: u64 = expected.values().map(|v| v.0).sum();
+        assert_eq!(total, (cfg.mappers * cfg.records_per_mapper) as u64);
+        assert!(
+            hot as f64 > total as f64 * 0.3,
+            "zipf(1.2) head key holds a large share, got {hot}/{total}"
+        );
+        // The heap contents replay the same stream.
+        let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+        for m in 0..cfg.mappers {
+            let p = cfg.build_partition(m);
+            for &r in &p.records {
+                let e = fold.entry(p.heap.field(r, 0)).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += f64::from_bits(p.heap.field(r, 1));
+            }
+        }
+        assert_eq!(fold.len(), expected.len());
+        for (k, v) in &expected {
+            assert_eq!(fold[k].0, v.0, "count for key {k}");
+            assert_eq!(fold[k].1.to_bits(), v.1.to_bits(), "sum for key {k}");
+        }
+    }
+
+    #[test]
+    fn skew_labels() {
+        assert_eq!(KeySkew::Uniform.label(), "uniform");
+        assert_eq!(KeySkew::Zipf(1.1).label(), "zipf(1.10)");
     }
 
     #[test]

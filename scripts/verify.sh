@@ -27,4 +27,12 @@ cargo run --release -p cereal-bench --bin shuffle $CARGO_FLAGS -- \
 cmp target/shuffle_jobs1.json target/shuffle_jobs4.json \
   || { echo "shuffle report differs between 1 and 4 jobs"; exit 1; }
 
+echo "== store smoke + thread-count determinism =="
+cargo run --release -p cereal-bench --bin store $CARGO_FLAGS -- \
+  --smoke --jobs 1 --out target/store_jobs1.json
+cargo run --release -p cereal-bench --bin store $CARGO_FLAGS -- \
+  --smoke --jobs 4 --out target/store_jobs4.json
+cmp target/store_jobs1.json target/store_jobs4.json \
+  || { echo "store report differs between 1 and 4 jobs"; exit 1; }
+
 echo "verify: OK"
