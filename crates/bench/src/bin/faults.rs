@@ -1,0 +1,277 @@
+//! The fault-injection experiment (`cargo run --release --bin faults`).
+//!
+//! Sweeps fault rates across shuffle backends (wire loss/corruption,
+//! mapper deaths, accelerator faults, spill read errors — all injected
+//! at once at the sweep rate) and across the block store (transient
+//! read errors and spill-image corruption), then writes
+//! `BENCH_FAULTS.json` with the recovery economics: goodput, retry
+//! counts, re-executed maps, the share of the makespan spent
+//! recovering, and the makespan inflation against the fault-free
+//! baseline. Every number is simulated time or a deterministic counter,
+//! and every fault draw comes from streams scoped by stable entity ids,
+//! so the file is byte-identical for any `--jobs` value (CI diffs a
+//! 1-job run against a 4-job run).
+//!
+//! The rate-0.0 sweep point doubles as a self-check: the harness
+//! asserts it reproduces the fault-free baseline's numbers exactly.
+//!
+//! Flags: `--smoke` (small config), `--jobs N` (worker threads),
+//! `--out PATH` (default `BENCH_FAULTS.json`).
+
+use cereal_bench::table::{ns, Table};
+use shuffle::{run_backend, Backend, FaultSpec, ShuffleConfig};
+use sim::FaultConfig;
+use store::{run_rdd, AccessPattern, MissPolicy, RddConfig};
+use workloads::{AggConfig, KeySkew};
+
+const FAULT_SEED: u64 = 0xFA17_5EED;
+
+struct ShuffleRow {
+    backend: &'static str,
+    rate: f64,
+    report: shuffle::BackendReport,
+    baseline_makespan_ns: f64,
+}
+
+impl ShuffleRow {
+    fn to_json(&self) -> String {
+        let f = self.report.faults.expect("sweep rows carry fault counters");
+        format!(
+            "    {{\"backend\": \"{}\", \"rate\": {}, \"makespan_ns\": {:.3},\n\
+             \x20     \"retries\": {}, \"lost_messages\": {}, \"wire_corruptions\": {},\n\
+             \x20     \"checksum_errors\": {}, \"mapper_deaths\": {}, \"reexec_ns\": {:.3},\n\
+             \x20     \"accel_faults\": {}, \"fallback_ns\": {:.3}, \"spill_retries\": {},\n\
+             \x20     \"recovery_ns\": {:.3}, \"fabric_bytes\": {}, \"goodput\": {:.6},\n\
+             \x20     \"recovery_share\": {:.6}, \"makespan_inflation\": {:.6},\n\
+             \x20     \"fold_checksum\": \"{:016x}\"}}",
+            self.backend,
+            self.rate,
+            self.report.net.makespan_ns,
+            f.retries,
+            f.lost_messages,
+            f.wire_corruptions,
+            f.checksum_errors,
+            f.mapper_deaths,
+            f.reexec_ns,
+            f.accel_faults,
+            f.fallback_ns,
+            f.spill_retries,
+            f.recovery_ns,
+            f.fabric_bytes,
+            f.goodput(self.report.wire_bytes),
+            f.recovery_ns / self.report.net.makespan_ns,
+            self.report.net.makespan_ns / self.baseline_makespan_ns,
+            self.report.fold_checksum,
+        )
+    }
+}
+
+struct StoreRow {
+    rate: f64,
+    total_ns: f64,
+    stats: store::StoreStats,
+    baseline_total_ns: f64,
+}
+
+impl StoreRow {
+    fn to_json(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "    {{\"rate\": {}, \"total_ns\": {:.3}, \"read_retries\": {}, \"retry_ns\": {:.3},\n\
+             \x20     \"checksum_errors\": {}, \"recomputes\": {}, \"disk_fetches\": {},\n\
+             \x20     \"total_inflation\": {:.6}}}",
+            self.rate,
+            self.total_ns,
+            s.read_retries,
+            s.retry_ns,
+            s.checksum_errors,
+            s.recomputes,
+            s.disk_fetches,
+            self.total_ns / self.baseline_total_ns,
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_FAULTS.json".to_string());
+
+    let rates: &[f64] = if smoke { &[0.0, 0.05] } else { &[0.0, 0.01, 0.05, 0.15] };
+    let backends = [Backend::Kryo, Backend::Cereal];
+
+    // ---- Shuffle sweep -------------------------------------------------
+    // Checksummed frames throughout (wire corruption must be
+    // detectable); map-side spilling on so disk read errors fire too.
+    let mut shuffle_cfg = if smoke { ShuffleConfig::smoke() } else { ShuffleConfig::full() };
+    shuffle_cfg.jobs = jobs;
+    shuffle_cfg.checksum = true;
+    shuffle_cfg.spill_bytes = shuffle_cfg.flush_bytes;
+    eprintln!(
+        "faults: shuffle {} mappers x {} records -> {} reducers, rates {rates:?}, {jobs} jobs",
+        shuffle_cfg.mappers, shuffle_cfg.records_per_mapper, shuffle_cfg.reducers
+    );
+
+    let mut shuffle_rows: Vec<ShuffleRow> = Vec::new();
+    let mut baselines: Vec<String> = Vec::new();
+    for backend in backends {
+        let base_run = run_backend(&shuffle_cfg, backend).unwrap_or_else(|e| {
+            eprintln!("fault-free {} run failed: {e}", backend.name());
+            std::process::exit(1);
+        });
+        let base = base_run.report;
+        baselines.push(format!(
+            "    {{\"backend\": \"{}\", \"makespan_ns\": {:.3}, \"wire_bytes\": {},\n\
+             \x20     \"fold_checksum\": \"{:016x}\"}}",
+            base.name, base.net.makespan_ns, base.wire_bytes, base.fold_checksum
+        ));
+        for &rate in rates {
+            let mut cfg = shuffle_cfg;
+            cfg.faults = Some(FaultSpec::uniform(rate, FAULT_SEED));
+            let run = run_backend(&cfg, backend).unwrap_or_else(|e| {
+                eprintln!("{} at rate {rate} failed: {e}", backend.name());
+                std::process::exit(1);
+            });
+            assert_eq!(
+                run.report.fold_checksum, base.fold_checksum,
+                "{} at rate {rate}: recovery must preserve the aggregate",
+                backend.name()
+            );
+            if rate == 0.0 {
+                // Self-check: zero-rate injection is the fault-free path.
+                assert_eq!(run.report.wire_bytes, base.wire_bytes);
+                assert_eq!(run.report.messages, base.messages);
+                assert_eq!(run.report.net, base.net);
+            }
+            shuffle_rows.push(ShuffleRow {
+                backend: backend.name(),
+                rate,
+                report: run.report,
+                baseline_makespan_ns: base.net.makespan_ns,
+            });
+        }
+    }
+
+    let mut t = Table::new(&[
+        "backend", "rate", "retries", "lost", "corrupt", "deaths", "accel", "spill",
+        "goodput", "recovery", "makespan", "x base",
+    ]);
+    for r in &shuffle_rows {
+        let f = r.report.faults.expect("sweep rows carry fault counters");
+        t.row(vec![
+            r.backend.to_string(),
+            format!("{}", r.rate),
+            f.retries.to_string(),
+            f.lost_messages.to_string(),
+            f.wire_corruptions.to_string(),
+            f.mapper_deaths.to_string(),
+            f.accel_faults.to_string(),
+            f.spill_retries.to_string(),
+            format!("{:.3}", f.goodput(r.report.wire_bytes)),
+            ns(f.recovery_ns),
+            ns(r.report.net.makespan_ns),
+            format!("{:.2}", r.report.net.makespan_ns / r.baseline_makespan_ns),
+        ]);
+    }
+    eprintln!("{}", t.render());
+
+    // ---- Block-store sweep ---------------------------------------------
+    // A tight budget forces spill-and-reload, so transient read errors
+    // and corrupt spill images (recovered through lineage) both fire.
+    let (partitions, records, passes) = if smoke { (6, 128, 3) } else { (12, 1024, 4) };
+    let store_cfg = RddConfig {
+        agg: AggConfig {
+            mappers: partitions,
+            records_per_mapper: records,
+            distinct_keys: 64,
+            seed: 0x5EED_B10C,
+            skew: KeySkew::Uniform,
+        },
+        backend: store::Backend::Kryo,
+        memory_fraction: 0.25,
+        passes,
+        policy: MissPolicy::Fetch,
+        disk: sim::DiskConfig::ssd(),
+        access: AccessPattern::Scan,
+        jobs,
+        checksum: true,
+        fault: None,
+    };
+    let base = run_rdd(&store_cfg).unwrap_or_else(|e| {
+        eprintln!("fault-free store run failed: {e}");
+        std::process::exit(1);
+    });
+    assert!(base.fold_ok, "fault-free store run must fold correctly");
+
+    let mut store_rows: Vec<StoreRow> = Vec::new();
+    for &rate in rates {
+        let mut cfg = store_cfg.clone();
+        cfg.fault = Some(FaultConfig::uniform(rate, FAULT_SEED));
+        let out = run_rdd(&cfg).unwrap_or_else(|e| {
+            eprintln!("store at rate {rate} failed: {e}");
+            std::process::exit(1);
+        });
+        assert!(out.fold_ok, "store at rate {rate}: recovery must preserve the fold");
+        if rate == 0.0 {
+            assert_eq!(out.total_ns, base.total_ns, "zero-rate store run is fault-free");
+            assert_eq!(out.store, base.store);
+        }
+        store_rows.push(StoreRow {
+            rate,
+            total_ns: out.total_ns,
+            stats: out.store,
+            baseline_total_ns: base.total_ns,
+        });
+    }
+
+    let mut t = Table::new(&["rate", "retries", "crc errs", "recomp", "fetches", "total", "x base"]);
+    for r in &store_rows {
+        t.row(vec![
+            format!("{}", r.rate),
+            r.stats.read_retries.to_string(),
+            r.stats.checksum_errors.to_string(),
+            r.stats.recomputes.to_string(),
+            r.stats.disk_fetches.to_string(),
+            ns(r.total_ns),
+            format!("{:.2}", r.total_ns / r.baseline_total_ns),
+        ]);
+    }
+    eprintln!("{}", t.render());
+
+    let json = format!(
+        "{{\n\
+         \x20 \"generated_by\": \"cereal-bench --bin faults\",\n\
+         \x20 \"smoke\": {smoke},\n\
+         \x20 \"fault_seed\": {FAULT_SEED},\n\
+         \x20 \"rates\": [{}],\n\
+         \x20 \"shuffle_baseline\": [\n{}\n\x20 ],\n\
+         \x20 \"shuffle_sweep\": [\n{}\n\x20 ],\n\
+         \x20 \"store_baseline\": {{\"total_ns\": {:.3}, \"disk_fetches\": {}}},\n\
+         \x20 \"store_sweep\": [\n{}\n\x20 ]\n\
+         }}\n",
+        rates.iter().map(f64::to_string).collect::<Vec<_>>().join(", "),
+        baselines.join(",\n"),
+        shuffle_rows.iter().map(ShuffleRow::to_json).collect::<Vec<_>>().join(",\n"),
+        base.total_ns,
+        base.store.disk_fetches,
+        store_rows.iter().map(StoreRow::to_json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+}

@@ -83,14 +83,20 @@ fn main() {
     );
 
     // Main sweep: every backend, GC pressure off.
-    let main = run_suite(&cfg, &Backend::all());
+    let main = run_suite(&cfg, &Backend::all()).unwrap_or_else(|e| {
+        eprintln!("shuffle suite failed: {e}");
+        std::process::exit(1);
+    });
     summarize("all backends:", &main);
 
     // GC-pressure sweep: the fastest software baseline and the
     // accelerator, with collections between record waves.
     let mut gc_cfg = cfg;
     gc_cfg.gc_pressure = true;
-    let gc = run_suite(&gc_cfg, &[Backend::Kryo, Backend::Cereal]);
+    let gc = run_suite(&gc_cfg, &[Backend::Kryo, Backend::Cereal]).unwrap_or_else(|e| {
+        eprintln!("shuffle gc suite failed: {e}");
+        std::process::exit(1);
+    });
     summarize("under GC pressure:", &gc);
 
     let json = format!(

@@ -83,6 +83,8 @@ fn main() {
         disk: sim::DiskConfig::ssd(),
         access: AccessPattern::Scan,
         jobs,
+        checksum: false,
+        fault: None,
     };
     let backends = [Backend::Java, Backend::Kryo, Backend::Skyway, Backend::Cereal];
     let fractions = [0.25, 0.5, 1.0];
@@ -90,7 +92,13 @@ fn main() {
         "store: {partitions} partitions x {records} records, {passes} passes, {jobs} jobs"
     );
 
-    let report = run_suite(&base, &backends, &fractions);
+    let report = match run_suite(&base, &backends, &fractions) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("store suite failed: {e}");
+            std::process::exit(1);
+        }
+    };
     summarize(&report);
 
     let json = report.to_json();

@@ -21,17 +21,21 @@
 //!
 //! This crate owns the bit-exact encoding: [`bitio`] (bit streams),
 //! [`pack`] (the packing scheme), [`layout`] (bitmap construction),
-//! [`varint`] (LEB128, used by the Kryo baseline) and [`stream`] (the
-//! whole-stream container and its wire encoding). Turning an object graph
-//! into a stream is the accelerator's job and lives in the `cereal` crate.
+//! [`varint`] (LEB128, used by the Kryo baseline), [`stream`] (the
+//! whole-stream container and its wire encoding) and [`frame`] (the
+//! optional CRC-32 footer that gives every backend corruption detection
+//! on hostile wires and disks). Turning an object graph into a stream
+//! is the accelerator's job and lives in the `cereal` crate.
 
 pub mod bitio;
+pub mod frame;
 pub mod layout;
 pub mod pack;
 pub mod stream;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
+pub use frame::{crc32, crc_ns, seal, seal_into, verify, FrameError, FOOTER_BYTES, FRAME_MAGIC};
 pub use layout::{object_layout_bits, LayoutCounts};
 pub use pack::{EndMap, Packed, Packer, Unpacker};
 pub use stream::{CerealStream, FormatError, StreamHeader};

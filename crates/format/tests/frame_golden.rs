@@ -1,0 +1,72 @@
+//! Frame-layer golden and property tests: a checksummed stream is the
+//! plain stream plus a footer, and corruption never slips through.
+
+use sdformat::{frame, CerealStream, Packer};
+use sdheap::rng::Rng;
+
+fn sample_stream() -> CerealStream {
+    let mut refs = Packer::new();
+    for rel in [1u64, 0, 49, 7, 0, 1] {
+        refs.push_value(rel);
+    }
+    let mut bitmaps = Packer::new();
+    bitmaps.push_bits(&[false, true, true, false]);
+    bitmaps.push_bits(&[false, false, true]);
+    let mut value_array = Vec::new();
+    for w in 0..12u64 {
+        value_array.extend_from_slice(&(w.wrapping_mul(0x9E37_79B9)).to_le_bytes());
+    }
+    CerealStream {
+        total_object_bytes: 96,
+        object_count: 2,
+        value_array,
+        refs: refs.finish(),
+        bitmaps: bitmaps.finish(),
+    }
+}
+
+#[test]
+fn golden_checksummed_stream_is_plain_plus_footer() {
+    let stream = sample_stream();
+    let plain = stream.to_bytes();
+    let framed = frame::seal(plain.clone());
+    // Byte-identical except the footer: same prefix, exactly
+    // FOOTER_BYTES longer, magic + CRC at the end.
+    assert_eq!(framed.len(), plain.len() + frame::FOOTER_BYTES);
+    assert_eq!(&framed[..plain.len()], &plain[..]);
+    assert_eq!(&framed[plain.len()..plain.len() + 4], &frame::FRAME_MAGIC);
+    let stored = u32::from_le_bytes(framed[plain.len() + 4..].try_into().unwrap());
+    assert_eq!(stored, frame::crc32(&plain));
+    // Verification strips the footer and the stream decodes as before.
+    let payload = frame::verify(&framed).expect("intact frame verifies");
+    let decoded = CerealStream::from_bytes(payload).expect("payload decodes");
+    assert_eq!(decoded, stream);
+}
+
+#[test]
+fn seeded_bit_flips_are_always_detected() {
+    let framed = frame::seal(sample_stream().to_bytes());
+    let mut rng = Rng::new(0xC0FF_EE00_F417);
+    for _ in 0..500 {
+        let bit = rng.gen_range_usize(0, framed.len() * 8);
+        let mut bad = framed.clone();
+        bad[bit / 8] ^= 1 << (bit % 8);
+        assert!(
+            frame::verify(&bad).is_err(),
+            "single-bit flip at bit {bit} went undetected"
+        );
+    }
+}
+
+#[test]
+fn truncated_frames_are_detected() {
+    let framed = frame::seal(sample_stream().to_bytes());
+    let mut rng = Rng::new(0x7255_0000);
+    for _ in 0..100 {
+        let keep = rng.gen_range_usize(0, framed.len());
+        assert!(
+            frame::verify(&framed[..keep]).is_err(),
+            "truncation to {keep} bytes went undetected"
+        );
+    }
+}

@@ -1,8 +1,10 @@
 //! The map-side executor: partition, coalesce, serialize, (optionally)
 //! collect garbage between waves.
 
+use crate::faults::{accel_scope, FaultTotals, ShuffleError};
 use crate::ShuffleConfig;
 use sdheap::{Addr, GcStats};
+use sim::FaultConfig;
 use store::{Backend, BlockStore, Engine, MissPolicy, NoLineage, StoreConfig};
 use workloads::spark::agg::RECORD_HEAP_BYTES;
 
@@ -19,6 +21,10 @@ pub struct Message {
     pub bytes: Vec<u8>,
     /// Records coalesced into this batch.
     pub records: u64,
+    /// The backend that produced `bytes` — normally the run's backend,
+    /// but an accelerator-faulted flush degrades to the configured
+    /// software fallback, and the reducer must decode with the match.
+    pub backend: Backend,
     /// Engine busy time serializing the batch.
     pub ser_ns: f64,
     /// Completion time on the mapper's simulated clock (includes any GC
@@ -98,6 +104,9 @@ pub struct MapOutcome {
     pub gc: GcTotals,
     /// Block-store spill activity (`None` when spilling is disabled).
     pub spill: Option<SpillTotals>,
+    /// Fault activity on this executor (accelerator faults, spill read
+    /// retries; the service adds deaths and wire faults).
+    pub faults: FaultTotals,
 }
 
 /// Runs map executor `m` to completion: builds its partition, shuffles
@@ -115,7 +124,21 @@ pub struct MapOutcome {
 /// is exhausted (the shuffle-file serve), so each message's
 /// `ser_done_ns` becomes its retrieval completion and all disk time
 /// lands on the mapper's clock.
-pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome {
+///
+/// Under fault injection, each Cereal flush can draw an **accelerator
+/// fault**: the partition degrades to the configured software fallback
+/// serializer (its slower busy time charged to the mapper's clock, the
+/// message tagged with the fallback backend so the reducer decodes with
+/// the match), and spill reads can draw transient errors recovered by
+/// the store's retry loop.
+///
+/// # Errors
+/// Propagates [`ShuffleError::Store`] from unrecoverable spill faults.
+pub fn run_mapper(
+    cfg: &ShuffleConfig,
+    backend: Backend,
+    m: usize,
+) -> Result<MapOutcome, ShuffleError> {
     let part = cfg.agg().build_partition(m);
     let mut heap = part.heap;
     let reg = part.reg;
@@ -136,12 +159,33 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
     let mut pause_total = 0.0f64;
     let mut ser_busy = 0.0f64;
     let mut gc = GcTotals::default();
-    // Shuffle batches have no cheap lineage: evictions always spill.
+    let mut faults = FaultTotals::default();
+    // Accelerator faults are drawn per flush from this mapper's private
+    // stream (only the Cereal engine can fault in hardware).
+    let mut accel_inj = if backend == Backend::Cereal {
+        cfg.faults.map(|s| s.cfg.scoped(accel_scope(m)))
+    } else {
+        None
+    };
+    let fallback_backend = cfg.faults.map_or(Backend::Kryo, |s| s.fallback);
+    let mut fallback: Option<Engine> = None;
+    // Shuffle batches have no cheap lineage: evictions always spill, and
+    // injected spill *corruption* is zeroed here (a corrupt shuffle file
+    // would be unrecoverable without re-running the mapper); the
+    // transient read-error class still applies, recovered by the
+    // store's device-level retry loop.
     let mut blocks = (cfg.spill_bytes > 0).then(|| {
+        let fault = cfg.faults.map(|s| FaultConfig {
+            seed: s.cfg.seed ^ (0x5B11_0000_0000 | m as u64),
+            spill_corruption: 0.0,
+            ..s.cfg
+        });
         BlockStore::new(StoreConfig {
             memory_budget: cfg.spill_bytes,
             disk: sim::DiskConfig::ssd(),
             policy: MissPolicy::Fetch,
+            fault,
+            checksum: cfg.checksum,
         })
     });
 
@@ -161,7 +205,19 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
         for (j, &r) in pending.iter().enumerate() {
             heap.set_array_elem(batch, j, r.get());
         }
-        let (bytes, t) = engine.serialize(heap, &reg, batch);
+        let accel_faulted = accel_inj.as_mut().is_some_and(|inj| inj.accel_faults());
+        let (bytes, t, used_backend) = if accel_faulted {
+            // Hardware request faulted: this partition degrades to the
+            // software fallback, paying its busy time on the host core.
+            let fb = fallback.get_or_insert_with(|| Engine::new(fallback_backend, &reg));
+            let (bytes, t) = fb.serialize_framed(heap, &reg, batch, cfg.checksum);
+            faults.accel_faults += 1;
+            faults.fallback_ns += t.busy_ns;
+            (bytes, t, fallback_backend)
+        } else {
+            let (bytes, t) = engine.serialize_framed(heap, &reg, batch, cfg.checksum);
+            (bytes, t, backend)
+        };
         let ser_done = match t.done_ns {
             // The accelerator schedules across its units on its own
             // timeline; GC pauses shift that timeline wholesale.
@@ -187,6 +243,7 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
             seq: seq[dst],
             bytes,
             records: pending.len() as u64,
+            backend: used_backend,
             ser_ns: t.busy_ns,
             ser_done_ns: ser_done,
         });
@@ -245,32 +302,39 @@ pub fn run_mapper(cfg: &ShuffleConfig, backend: Backend, m: usize) -> MapOutcome
     drop(flush);
 
     // Serve the shuffle files: read every batch back out of the store in
-    // flush order. Resident batches are free; spilled ones pay the disk,
-    // on the mapper's clock. Each message completes — and so becomes
+    // flush order. Resident batches are free; spilled ones pay the disk
+    // (and any injected transient read errors pay the retry loop), on
+    // the mapper's clock. Each message completes — and so becomes
     // sendable — when its batch is back in memory.
-    let spill = blocks.map(|mut store| {
-        let mut none = NoLineage;
-        for (i, msg) in messages.iter_mut().enumerate() {
-            let access = store.get(i, clock, &mut none);
-            clock = access.done_ns;
-            msg.bytes = store.bytes(i).expect("fetch policy retains every block").to_vec();
-            msg.ser_done_ns = clock;
+    let spill = match blocks {
+        Some(mut store) => {
+            let mut none = NoLineage;
+            for (i, msg) in messages.iter_mut().enumerate() {
+                let access = store.get(i, clock, &mut none)?;
+                clock = access.done_ns;
+                msg.bytes = store.bytes(i).expect("fetch policy retains every block").to_vec();
+                msg.ser_done_ns = clock;
+            }
+            let s = store.stats();
+            faults.spill_retries += s.read_retries;
+            faults.recovery_ns += s.retry_ns;
+            Some(SpillTotals {
+                spills: s.spills,
+                spilled_bytes: s.spilled_bytes,
+                spill_ns: s.spill_ns,
+                fetches: s.disk_fetches,
+                fetch_ns: s.fetch_ns,
+            })
         }
-        let s = store.stats();
-        SpillTotals {
-            spills: s.spills,
-            spilled_bytes: s.spilled_bytes,
-            spill_ns: s.spill_ns,
-            fetches: s.disk_fetches,
-            fetch_ns: s.fetch_ns,
-        }
-    });
+        None => None,
+    };
 
-    MapOutcome {
+    Ok(MapOutcome {
         messages,
         clock_ns: clock,
         ser_busy_ns: ser_busy,
         gc,
         spill,
-    }
+        faults,
+    })
 }

@@ -33,7 +33,17 @@
 //!   mapper's serialized batches live in a [`store::BlockStore`]:
 //!   batches past the budget spill to a simulated SSD and are read back
 //!   when the shuffle files are served, with the disk time charged on
-//!   the mapper's clock.
+//!   the mapper's clock;
+//! * **fault injection & recovery** — with [`ShuffleConfig::faults`]
+//!   set, a seeded [`sim::FaultInjector`] loses and corrupts wire
+//!   transfers (reducers detect corruption through the CRC frame;
+//!   retransmissions pay timeout and exponential backoff on the
+//!   simulated clock), kills mappers mid-stage (Spark-style
+//!   re-execution), fails spill reads (device-level retries), and
+//!   faults accelerator requests (the partition degrades to the
+//!   configured software serializer). Every class is recovered, so the
+//!   fold exactly matches the fault-free aggregate; anomalies surface
+//!   as typed [`ShuffleError`]s, never panics.
 //!
 //! Executors really run on threads ([`ShuffleConfig::jobs`]), but every
 //! number in the report is composed from per-executor simulated clocks
@@ -41,12 +51,14 @@
 //! enforced by test.
 
 pub mod exec;
+pub mod faults;
 pub mod reduce;
 pub mod report;
 pub mod service;
 pub mod timeline;
 
 pub use exec::{GcTotals, MapOutcome, Message, SpillTotals};
+pub use faults::{Attempt, FaultSpec, FaultTotals, MsgPlan, ShuffleError};
 pub use store::Backend;
 pub use report::{BackendReport, ShuffleReport};
 pub use service::{run_backend, run_suite, BackendRun};
@@ -95,6 +107,13 @@ pub struct ShuffleConfig {
     pub gc_waves: usize,
     /// Worker threads for executor fan-out (does not affect results).
     pub jobs: usize,
+    /// Seal every serialized stream with the [`sdformat::frame`] CRC
+    /// footer; reducers verify before decoding. Required for
+    /// wire-corruption injection to be detectable.
+    pub checksum: bool,
+    /// Fault injection (`None` = the fault-free happy path, bit-for-bit
+    /// identical to the pre-fault service).
+    pub faults: Option<FaultSpec>,
 }
 
 impl ShuffleConfig {
@@ -115,6 +134,8 @@ impl ShuffleConfig {
             gc_pressure: false,
             gc_waves: 4,
             jobs: 1,
+            checksum: false,
+            faults: None,
         }
     }
 
@@ -135,6 +156,8 @@ impl ShuffleConfig {
             gc_pressure: false,
             gc_waves: 4,
             jobs: 1,
+            checksum: false,
+            faults: None,
         }
     }
 

@@ -1,9 +1,10 @@
 //! The reduce-side executor: deserialize incoming batches, fold by key.
 
 use crate::exec::Message;
-use store::{Backend, Engine};
+use crate::faults::{Attempt, MsgPlan, ShuffleError};
 use sdheap::{Addr, KlassRegistry};
 use std::collections::BTreeMap;
+use store::{Backend, Engine, EngineError};
 
 /// Everything one reduce executor produced.
 #[derive(Debug)]
@@ -17,6 +18,9 @@ pub struct ReduceOutcome {
     pub de_busy_ns: f64,
     /// Records decoded.
     pub records: u64,
+    /// Corrupted arrivals the CRC frame check caught (each re-fetched;
+    /// the timing lands in the timeline composition).
+    pub checksum_errors: u64,
 }
 
 /// Runs one reduce executor over its incoming messages, which must be
@@ -26,23 +30,70 @@ pub struct ReduceOutcome {
 /// accumulate in `(mapper, generation)` order: exactly the order
 /// [`workloads::AggConfig::expected_fold`] uses, making the sums
 /// bit-identical.
+///
+/// `plans` aligns with `msgs` (empty = fault-free): for every planned
+/// [`Attempt::Corrupt`], the reducer really applies the byte flip to a
+/// copy of the stream and demonstrates the checksum rejects it — an
+/// undetected corruption is a [`ShuffleError::UndetectedCorruption`],
+/// never a silent wrong fold. Messages are decoded with the engine
+/// matching their [`Message::backend`] (accelerator-faulted batches
+/// arrive in the fallback software format).
+///
+/// # Errors
+/// [`ShuffleError::Engine`] when an intact stream fails to decode;
+/// [`ShuffleError::BadBatch`] on a record-count mismatch;
+/// [`ShuffleError::UndetectedCorruption`] if a planned flip decodes.
 pub fn run_reducer(
     backend: Backend,
     reg: &KlassRegistry,
     capacity: u64,
     msgs: &[&Message],
-) -> ReduceOutcome {
-    let mut engine = Engine::new(backend, reg);
+    plans: &[&MsgPlan],
+    checksum: bool,
+) -> Result<ReduceOutcome, ShuffleError> {
+    // One engine per wire format seen; the run's backend first.
+    let mut engines: Vec<(Backend, Engine)> = vec![(backend, Engine::new(backend, reg))];
     let mut out = ReduceOutcome {
         de_ns: Vec::with_capacity(msgs.len()),
         fold: BTreeMap::new(),
         de_busy_ns: 0.0,
         records: 0,
+        checksum_errors: 0,
     };
-    for msg in msgs {
-        let (heap, root, ns) = engine.deserialize(&msg.bytes, reg, capacity);
+    for (i, msg) in msgs.iter().enumerate() {
+        let idx = match engines.iter().position(|(b, _)| *b == msg.backend) {
+            Some(i) => i,
+            None => {
+                engines.push((msg.backend, Engine::new(msg.backend, reg)));
+                engines.len() - 1
+            }
+        };
+        let engine = &mut engines[idx].1;
+        // Corrupt arrivals first: the CRC check must reject every
+        // planned flip before the clean retransmission decodes.
+        if let Some(plan) = plans.get(i) {
+            for a in &plan.attempts {
+                if let Attempt::Corrupt { pos, mask } = a {
+                    let mut bad = msg.bytes.clone();
+                    bad[*pos] ^= *mask;
+                    match engine.try_deserialize(&bad, reg, capacity, true) {
+                        Err(EngineError::Checksum(_)) => out.checksum_errors += 1,
+                        _ => {
+                            return Err(ShuffleError::UndetectedCorruption {
+                                src: msg.src,
+                                dst: msg.dst,
+                                seq: msg.seq,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        let (heap, root, ns) = engine.try_deserialize(&msg.bytes, reg, capacity, checksum)?;
         let n = heap.array_len(root);
-        assert_eq!(n as u64, msg.records, "decoded batch size matches");
+        if n as u64 != msg.records {
+            return Err(ShuffleError::BadBatch { src: msg.src, dst: msg.dst, seq: msg.seq });
+        }
         for j in 0..n {
             let rec = Addr(heap.array_elem(root, j));
             let key = heap.field(rec, 0);
@@ -55,5 +106,5 @@ pub fn run_reducer(
         out.de_busy_ns += ns;
         out.de_ns.push(ns);
     }
-    out
+    Ok(out)
 }

@@ -5,6 +5,7 @@
 //! rendered JSON is byte-identical across runs and job counts.
 
 use crate::exec::{GcTotals, SpillTotals};
+use crate::faults::FaultTotals;
 use crate::timeline::NetStats;
 use crate::ShuffleConfig;
 
@@ -31,6 +32,10 @@ pub struct BackendReport {
     pub gc: Option<GcTotals>,
     /// Spill activity summed over mappers (`None` when spilling is off).
     pub spill: Option<SpillTotals>,
+    /// Fault and recovery counters (`None` when injection is off; the
+    /// field renders only when set, so fault-free reports stay
+    /// byte-identical to the pre-fault service).
+    pub faults: Option<FaultTotals>,
     /// FNV-1a digest of the merged `(key, count, sum)` aggregate —
     /// identical across backends, coalescing settings and job counts.
     pub fold_checksum: u64,
@@ -60,12 +65,35 @@ impl BackendReport {
                 s.spills, s.spilled_bytes, s.spill_ns, s.fetches, s.fetch_ns
             ),
         };
+        // Rendered only for fault-injected runs: fault-free JSON is
+        // byte-identical to the pre-fault service.
+        let faults = match &self.faults {
+            None => String::new(),
+            Some(f) => format!(
+                ",\n\x20     \"faults\": {{\"retries\": {}, \"lost_messages\": {}, \"wire_corruptions\": {},\n\
+                 \x20       \"checksum_errors\": {}, \"mapper_deaths\": {}, \"reexec_ns\": {:.3},\n\
+                 \x20       \"accel_faults\": {}, \"fallback_ns\": {:.3}, \"spill_retries\": {},\n\
+                 \x20       \"recovery_ns\": {:.3}, \"fabric_bytes\": {}, \"goodput\": {:.6}}}",
+                f.retries,
+                f.lost_messages,
+                f.wire_corruptions,
+                f.checksum_errors,
+                f.mapper_deaths,
+                f.reexec_ns,
+                f.accel_faults,
+                f.fallback_ns,
+                f.spill_retries,
+                f.recovery_ns,
+                f.fabric_bytes,
+                f.goodput(self.wire_bytes),
+            ),
+        };
         format!(
             "    {{\"name\": \"{}\", \"messages\": {}, \"wire_bytes\": {}, \"records\": {},\n\
              \x20     \"ser_busy_ns\": {:.3}, \"map_makespan_ns\": {:.3}, \"de_busy_ns\": {:.3},\n\
              \x20     \"net_ns\": {:.3}, \"makespan_ns\": {:.3}, \"records_per_sec\": {:.1},\n\
              \x20     \"backpressure_blocks\": {}, \"backpressure_wait_ns\": {:.3},\n\
-             \x20     \"ingress_utilization\": {:.4}, \"gc\": {}, \"spill\": {},\n\
+             \x20     \"ingress_utilization\": {:.4}, \"gc\": {}, \"spill\": {}{},\n\
              \x20     \"fold_checksum\": \"{:016x}\"}}",
             self.name,
             self.messages,
@@ -82,6 +110,7 @@ impl BackendReport {
             self.net.ingress_utilization,
             gc,
             spill,
+            faults,
             self.fold_checksum,
         )
     }
@@ -102,6 +131,30 @@ impl ShuffleReport {
     pub fn to_json(&self) -> String {
         let c = &self.config;
         let rows: Vec<String> = self.backends.iter().map(BackendReport::to_json).collect();
+        // Appended only when checksums or fault injection are on, so the
+        // fault-free config block is byte-identical to the old harness.
+        let fault_cfg = if !c.checksum && c.faults.is_none() {
+            String::new()
+        } else {
+            let mut s = format!(",\n\x20   \"checksum\": {}", c.checksum);
+            if let Some(spec) = &c.faults {
+                let f = &spec.cfg;
+                s.push_str(&format!(
+                    ", \"fault_seed\": {}, \"fallback\": \"{}\",\n\
+                     \x20   \"rates\": {{\"wire_corruption\": {}, \"link_loss\": {}, \"disk_read_error\": {},\n\
+                     \x20     \"mapper_death\": {}, \"accel_fault\": {}, \"spill_corruption\": {}}}",
+                    f.seed,
+                    spec.fallback.name(),
+                    f.wire_corruption,
+                    f.link_loss,
+                    f.disk_read_error,
+                    f.mapper_death,
+                    f.accel_fault,
+                    f.spill_corruption,
+                ));
+            }
+            s
+        };
         format!(
             "{{\n\
              \x20 \"generated_by\": \"shuffle service\",\n\
@@ -109,7 +162,7 @@ impl ShuffleReport {
              \x20   \"mappers\": {}, \"reducers\": {}, \"records_per_mapper\": {},\n\
              \x20   \"distinct_keys\": {}, \"seed\": {}, \"skew\": \"{}\", \"flush_bytes\": {},\n\
              \x20   \"watermark_bytes\": {}, \"spill_bytes\": {}, \"link\": \"{}\",\n\
-             \x20   \"gc_pressure\": {}, \"gc_waves\": {}\n\
+             \x20   \"gc_pressure\": {}, \"gc_waves\": {}{}\n\
              \x20 }},\n\
              \x20 \"backends\": [\n{}\n\x20 ]\n\
              }}\n",
@@ -125,6 +178,7 @@ impl ShuffleReport {
             c.link_name,
             c.gc_pressure,
             c.gc_waves,
+            fault_cfg,
             rows.join(",\n")
         )
     }

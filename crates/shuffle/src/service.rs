@@ -2,6 +2,7 @@
 //! stitch their simulated clocks into one deterministic report.
 
 use crate::exec::{run_mapper, GcTotals, MapOutcome, Message, SpillTotals};
+use crate::faults::{death_scope, plan_message, FaultTotals, MsgPlan, ShuffleError};
 use crate::reduce::{run_reducer, ReduceOutcome};
 use crate::report::{fold_checksum, BackendReport, ShuffleReport};
 use crate::timeline::compose;
@@ -20,16 +21,45 @@ pub struct BackendRun {
     pub fold: BTreeMap<u64, (u64, f64)>,
 }
 
-/// Runs one backend through the whole shuffle: map fan-out, reduce
-/// fan-out, timeline composition.
+/// Runs one backend through the whole shuffle: map fan-out (with
+/// Spark-style re-execution of mappers whose executor dies mid-stage),
+/// reduce fan-out, timeline composition.
 ///
-/// # Panics
-/// Panics if any executor fails (the workload registers every class) or
-/// if two reducers claim the same key.
-pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
+/// # Errors
+/// [`ShuffleError::ChecksumRequired`] when wire corruption is injected
+/// without checksum frames; otherwise whatever a stage surfaced
+/// (undetected corruption, decode failures, spill-store faults,
+/// duplicate keys).
+pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, ShuffleError> {
+    if !cfg.checksum && cfg.faults.is_some_and(|s| s.cfg.wire_corruption > 0.0) {
+        return Err(ShuffleError::ChecksumRequired);
+    }
+
     // Map stage: one self-contained executor per mapper, on real
     // threads. Results land in mapper order regardless of scheduling.
-    let maps: Vec<MapOutcome> = par_map(cfg.jobs, cfg.mappers, |m| run_mapper(cfg, backend, m));
+    // A mapper whose death draw fires is re-executed from scratch: the
+    // rerun reproduces the identical messages (the executor is
+    // deterministic), shifted by the work lost at death plus the
+    // scheduler's detection timeout.
+    let maps: Vec<Result<MapOutcome, ShuffleError>> =
+        par_map(cfg.jobs, cfg.mappers, |m| {
+            let mut outcome = run_mapper(cfg, backend, m)?;
+            if let Some(spec) = cfg.faults {
+                let mut inj = spec.cfg.scoped(death_scope(m));
+                if let Some(frac) = inj.mapper_dies() {
+                    let death_ns = frac * outcome.clock_ns + spec.cfg.timeout_ns;
+                    for msg in &mut outcome.messages {
+                        msg.ser_done_ns += death_ns;
+                    }
+                    outcome.clock_ns += death_ns;
+                    outcome.faults.mapper_deaths += 1;
+                    outcome.faults.reexec_ns += death_ns;
+                    outcome.faults.recovery_ns += death_ns;
+                }
+            }
+            Ok(outcome)
+        });
+    let maps: Vec<MapOutcome> = maps.into_iter().collect::<Result<_, _>>()?;
 
     // Global message list in (mapper, flush) order; per reducer this is
     // ascending (src, seq) — the deterministic delivery order.
@@ -39,14 +69,33 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
         per_reducer[msg.dst].push(i);
     }
 
+    // Wire-fault plans, one per message, drawn from streams scoped by
+    // the global message index — the reduce stage (detection) and the
+    // timeline (recovery timing) replay the same schedule.
+    let plans: Vec<MsgPlan> = match &cfg.faults {
+        Some(spec) if spec.cfg.enabled() => all
+            .iter()
+            .enumerate()
+            .map(|(i, m)| plan_message(&spec.cfg, i, m.bytes.len()))
+            .collect(),
+        _ => Vec::new(),
+    };
+
     // Reduce stage: one executor per reducer, on real threads.
     let agg = cfg.agg();
     let reg = agg.registry();
     let capacity = agg.heap_capacity();
-    let reduces: Vec<ReduceOutcome> = par_map(cfg.jobs, cfg.reducers, |r| {
-        let msgs: Vec<&Message> = per_reducer[r].iter().map(|&i| all[i]).collect();
-        run_reducer(backend, &reg, capacity, &msgs)
-    });
+    let reduces: Vec<Result<ReduceOutcome, ShuffleError>> =
+        par_map(cfg.jobs, cfg.reducers, |r| {
+            let msgs: Vec<&Message> = per_reducer[r].iter().map(|&i| all[i]).collect();
+            let rplans: Vec<&MsgPlan> = if plans.is_empty() {
+                Vec::new()
+            } else {
+                per_reducer[r].iter().map(|&i| &plans[i]).collect()
+            };
+            run_reducer(backend, &reg, capacity, &msgs, &rplans, cfg.checksum)
+        });
+    let reduces: Vec<ReduceOutcome> = reduces.into_iter().collect::<Result<_, _>>()?;
 
     // Stitch per-message deserialization times back to the global list.
     let mut de_ns = vec![0.0f64; all.len()];
@@ -57,13 +106,16 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
     }
 
     // Timeline composition: sequential and order-deterministic.
-    let net = compose(cfg, &all, &de_ns);
+    let mut fault_totals = FaultTotals::default();
+    let net = compose(cfg, &all, &de_ns, &plans, &mut fault_totals);
 
     // Merge the folds; key spaces are disjoint (key % reducers routing).
     let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
     for outcome in &reduces {
         for (&k, &v) in &outcome.fold {
-            assert!(fold.insert(k, v).is_none(), "key {k} folded by two reducers");
+            if fold.insert(k, v).is_some() {
+                return Err(ShuffleError::DuplicateKey(k));
+            }
         }
     }
 
@@ -71,10 +123,12 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
     let mut spill_totals = SpillTotals::default();
     for o in &maps {
         gc_totals.merge(&o.gc);
+        fault_totals.merge(&o.faults);
         if let Some(s) = &o.spill {
             spill_totals.merge(s);
         }
     }
+    fault_totals.checksum_errors += reduces.iter().map(|o| o.checksum_errors).sum::<u64>();
     let report = BackendReport {
         name: backend.name(),
         messages: all.len() as u64,
@@ -86,37 +140,36 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> BackendRun {
         net,
         gc: cfg.gc_pressure.then_some(gc_totals),
         spill: (cfg.spill_bytes > 0).then_some(spill_totals),
+        faults: cfg.faults.map(|_| fault_totals),
         fold_checksum: fold_checksum(&fold),
     };
-    BackendRun { report, fold }
+    Ok(BackendRun { report, fold })
 }
 
 /// Runs a list of backends and checks they all computed the same
 /// aggregate.
 ///
-/// # Panics
-/// Panics if two backends disagree on the fold — a round-trip
-/// correctness failure.
-pub fn run_suite(cfg: &ShuffleConfig, backends: &[Backend]) -> ShuffleReport {
+/// # Errors
+/// [`ShuffleError::FoldMismatch`] when two backends disagree on the
+/// aggregate — a round-trip correctness failure — plus anything
+/// [`run_backend`] surfaces.
+pub fn run_suite(cfg: &ShuffleConfig, backends: &[Backend]) -> Result<ShuffleReport, ShuffleError> {
     let mut reports = Vec::with_capacity(backends.len());
     let mut first_fold: Option<(&'static str, BTreeMap<u64, (u64, f64)>)> = None;
     for &b in backends {
-        let run = run_backend(cfg, b);
+        let run = run_backend(cfg, b)?;
         match &first_fold {
             None => first_fold = Some((b.name(), run.fold)),
             Some((name, fold)) => {
-                assert!(
-                    *fold == run.fold,
-                    "{} and {} disagree on the aggregate",
-                    name,
-                    b.name()
-                );
+                if *fold != run.fold {
+                    return Err(ShuffleError::FoldMismatch { a: name, b: b.name() });
+                }
             }
         }
         reports.push(run.report);
     }
-    ShuffleReport {
+    Ok(ShuffleReport {
         config: *cfg,
         backends: reports,
-    }
+    })
 }

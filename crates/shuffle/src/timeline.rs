@@ -8,9 +8,11 @@
 //! deterministic for any job count.
 
 use crate::exec::Message;
+use crate::faults::{Attempt, FaultTotals, MsgPlan};
 use crate::ShuffleConfig;
 use sim::net::Fabric;
 use std::collections::VecDeque;
+use store::Engine;
 
 /// Network-and-makespan statistics of one shuffle.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -44,7 +46,23 @@ pub struct NetStats {
 /// 3. the message crosses the [`Fabric`] (egress NIC → pair link →
 ///    ingress NIC, each a contended ledger);
 /// 4. the reducer deserializes arrivals serially.
-pub fn compose(cfg: &ShuffleConfig, msgs: &[&Message], de_ns: &[f64]) -> NetStats {
+///
+/// `plans` aligns with `msgs` (empty = fault-free). Failed attempts
+/// replay rule 3 per retransmission, all charged to the clock:
+/// a **lost** transfer still occupies the fabric, the sender declares
+/// it dead after the loss timeout, then backs off exponentially before
+/// resending; a **corrupt** transfer arrives, costs the receiver the
+/// CRC scan to detect, a NACK crosses back (one link latency), and the
+/// sender backs off. `faults` accumulates the retry counters and the
+/// recovery time (every nanosecond between a failed attempt's start and
+/// its retry's start).
+pub fn compose(
+    cfg: &ShuffleConfig,
+    msgs: &[&Message],
+    de_ns: &[f64],
+    plans: &[MsgPlan],
+    faults: &mut FaultTotals,
+) -> NetStats {
     assert_eq!(msgs.len(), de_ns.len());
     let mut order: Vec<usize> = (0..msgs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -93,8 +111,43 @@ pub fn compose(cfg: &ShuffleConfig, msgs: &[&Message], de_ns: &[f64]) -> NetStat
         }
 
         mapper_free[src] = start;
-        let arrival = fabric.send(src, dst, wire, start);
-        stats.net_ns += arrival - start;
+        // Failed attempts first: each occupies the fabric and delays the
+        // message by detection (timeout or CRC+NACK) plus backoff.
+        let mut attempt_start = start;
+        if let Some(plan) = plans.get(i) {
+            if plan.retries() > 0 {
+                let fc = &cfg.faults.expect("fault plans imply a fault spec").cfg;
+                for (k, a) in plan.attempts.iter().enumerate() {
+                    let backoff = fc.backoff_ns * f64::from(1u32 << (k as u32).min(16));
+                    let resume = match a {
+                        Attempt::Clean => break,
+                        Attempt::Lost => {
+                            let lost_arrival = fabric.send(src, dst, wire, attempt_start);
+                            stats.net_ns += lost_arrival - attempt_start;
+                            faults.lost_messages += 1;
+                            // The sender times out from the attempt's
+                            // start; the fabric stays busy either way.
+                            (attempt_start + fc.timeout_ns).max(lost_arrival) + backoff
+                        }
+                        Attempt::Corrupt { .. } => {
+                            let arrival = fabric.send(src, dst, wire, attempt_start);
+                            stats.net_ns += arrival - attempt_start;
+                            faults.wire_corruptions += 1;
+                            // Receiver pays the CRC scan to detect, the
+                            // NACK crosses one link latency back.
+                            arrival + Engine::verify_ns(wire as usize) + cfg.link.latency_ns + backoff
+                        }
+                    };
+                    faults.retries += 1;
+                    faults.fabric_bytes += wire;
+                    faults.recovery_ns += resume - attempt_start;
+                    attempt_start = resume;
+                }
+            }
+        }
+        let arrival = fabric.send(src, dst, wire, attempt_start);
+        stats.net_ns += arrival - attempt_start;
+        faults.fabric_bytes += wire;
         let de_start = arrival.max(reducer_free[dst]);
         let de_done = de_start + de_ns[i];
         reducer_free[dst] = de_done;

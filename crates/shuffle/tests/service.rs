@@ -20,19 +20,19 @@ fn report_is_byte_identical_for_any_job_count() {
     let backends = [Backend::Kryo, Backend::Cereal];
     let mut cfg = tiny();
     cfg.jobs = 1;
-    let one = run_suite(&cfg, &backends).to_json();
+    let one = run_suite(&cfg, &backends).unwrap().to_json();
     cfg.jobs = 4;
-    let four = run_suite(&cfg, &backends).to_json();
+    let four = run_suite(&cfg, &backends).unwrap().to_json();
     assert_eq!(one, four, "jobs=1 and jobs=4 must render identical reports");
     cfg.jobs = 13;
-    let thirteen = run_suite(&cfg, &backends).to_json();
+    let thirteen = run_suite(&cfg, &backends).unwrap().to_json();
     assert_eq!(one, thirteen);
 }
 
 #[test]
 fn fold_matches_the_datasets_expected_aggregate() {
     let cfg = tiny();
-    let run = run_backend(&cfg, Backend::Kryo);
+    let run = run_backend(&cfg, Backend::Kryo).unwrap();
     let expected = cfg.agg().expected_fold();
     assert_eq!(run.fold.len(), expected.len());
     for (k, &(count, sum)) in &expected {
@@ -44,8 +44,8 @@ fn fold_matches_the_datasets_expected_aggregate() {
 
 #[test]
 fn all_backends_agree_on_the_aggregate() {
-    // run_suite panics on disagreement; also check the checksums match.
-    let report = run_suite(&tiny(), &Backend::all());
+    // run_suite errors on disagreement; also check the checksums match.
+    let report = run_suite(&tiny(), &Backend::all()).unwrap();
     let first = report.backends[0].fold_checksum;
     for b in &report.backends {
         assert_eq!(b.fold_checksum, first, "{} diverged", b.name);
@@ -59,7 +59,7 @@ fn backpressure_blocks_at_the_watermark() {
     // batch to clear the reducer.
     let mut tight = tiny();
     tight.watermark_bytes = 1;
-    let blocked = run_backend(&tight, Backend::Kryo);
+    let blocked = run_backend(&tight, Backend::Kryo).unwrap();
     assert!(
         blocked.report.net.backpressure_blocks > 0,
         "tight watermark must block senders"
@@ -70,7 +70,7 @@ fn backpressure_blocks_at_the_watermark() {
     // finishes no later.
     let mut open = tiny();
     open.watermark_bytes = u64::MAX;
-    let free = run_backend(&open, Backend::Kryo);
+    let free = run_backend(&open, Backend::Kryo).unwrap();
     assert_eq!(free.report.net.backpressure_blocks, 0);
     assert_eq!(free.report.net.backpressure_wait_ns, 0.0);
     assert!(
@@ -91,8 +91,8 @@ fn coalescing_ships_fewer_larger_messages_with_identical_records() {
     let mut coarse = tiny();
     coarse.flush_bytes = 64 << 10; // everything coalesces per reducer
 
-    let fine_run = run_backend(&fine, Backend::Kryo);
-    let coarse_run = run_backend(&coarse, Backend::Kryo);
+    let fine_run = run_backend(&fine, Backend::Kryo).unwrap();
+    let coarse_run = run_backend(&coarse, Backend::Kryo).unwrap();
     assert!(
         coarse_run.report.messages < fine_run.report.messages,
         "coalescing must reduce message count: {} vs {}",
@@ -120,7 +120,7 @@ fn gc_pressure_reports_collections_and_charges_pauses() {
     let mut cfg = tiny();
     cfg.gc_pressure = true;
     cfg.gc_waves = 4;
-    let run = run_backend(&cfg, Backend::Kryo);
+    let run = run_backend(&cfg, Backend::Kryo).unwrap();
     let gc = run.report.gc.expect("gc totals present in gc-pressure mode");
     assert_eq!(gc.collections, (cfg.gc_waves as u64 - 1) * cfg.mappers as u64);
     assert!(gc.pause_ns > 0.0);
@@ -137,7 +137,7 @@ fn gc_pressure_reports_collections_and_charges_pauses() {
     // Pauses push the map stage (and the whole shuffle) later.
     let mut no_gc = cfg;
     no_gc.gc_pressure = false;
-    let baseline = run_backend(&no_gc, Backend::Kryo);
+    let baseline = run_backend(&no_gc, Backend::Kryo).unwrap();
     assert!(run.report.map_makespan_ns > baseline.report.map_makespan_ns);
     assert_eq!(run.report.fold_checksum, baseline.report.fold_checksum);
 }
@@ -148,7 +148,7 @@ fn spill_threshold_routes_batches_through_the_store() {
     // SSD and back in at serve time.
     let mut spilling = tiny();
     spilling.spill_bytes = 1;
-    let spilled = run_backend(&spilling, Backend::Kryo);
+    let spilled = run_backend(&spilling, Backend::Kryo).unwrap();
     let totals = spilled.report.spill.expect("spill totals present when spilling is on");
     assert_eq!(totals.spills, spilled.report.messages, "every batch spilled");
     assert_eq!(totals.fetches, spilled.report.messages, "every batch read back");
@@ -157,7 +157,7 @@ fn spill_threshold_routes_batches_through_the_store() {
 
     // The store is a detour, not a transformation: identical bytes on
     // the wire, identical aggregate, and a later map stage.
-    let baseline = run_backend(&tiny(), Backend::Kryo);
+    let baseline = run_backend(&tiny(), Backend::Kryo).unwrap();
     assert!(baseline.report.spill.is_none());
     assert_eq!(spilled.report.wire_bytes, baseline.report.wire_bytes);
     assert_eq!(spilled.report.fold_checksum, baseline.report.fold_checksum);
@@ -166,7 +166,7 @@ fn spill_threshold_routes_batches_through_the_store() {
     // A budget above the mapper's whole output never touches the disk.
     let mut roomy = tiny();
     roomy.spill_bytes = u64::MAX;
-    let held = run_backend(&roomy, Backend::Kryo);
+    let held = run_backend(&roomy, Backend::Kryo).unwrap();
     let totals = held.report.spill.expect("store engaged");
     assert_eq!(totals.spills, 0);
     assert_eq!(totals.spill_ns, 0.0);
@@ -175,8 +175,8 @@ fn spill_threshold_routes_batches_through_the_store() {
     // Spilling composes with thread fan-out deterministically.
     let mut jobs4 = spilling;
     jobs4.jobs = 4;
-    let report_one = run_suite(&spilling, &[Backend::Kryo]).to_json();
-    let report_four = run_suite(&jobs4, &[Backend::Kryo]).to_json();
+    let report_one = run_suite(&spilling, &[Backend::Kryo]).unwrap().to_json();
+    let report_four = run_suite(&jobs4, &[Backend::Kryo]).unwrap().to_json();
     assert_eq!(report_one, report_four);
 }
 
@@ -191,8 +191,8 @@ fn zipf_skew_engages_backpressure_on_the_hot_reducer() {
     let mut skewed = uniform;
     skewed.skew = KeySkew::Zipf(1.4);
 
-    let u = run_backend(&uniform, Backend::Kryo);
-    let z = run_backend(&skewed, Backend::Kryo);
+    let u = run_backend(&uniform, Backend::Kryo).unwrap();
+    let z = run_backend(&skewed, Backend::Kryo).unwrap();
     assert!(
         z.report.net.backpressure_blocks > u.report.net.backpressure_blocks,
         "skew must increase watermark blocking: {} vs {}",
@@ -218,8 +218,8 @@ fn cereal_backend_outruns_software() {
     // (its units are bandwidth-bound; tiny requests pay fixed latency).
     let mut cfg = tiny();
     cfg.flush_bytes = 64 << 10;
-    let kryo = run_backend(&cfg, Backend::Kryo);
-    let cereal = run_backend(&cfg, Backend::Cereal);
+    let kryo = run_backend(&cfg, Backend::Kryo).unwrap();
+    let cereal = run_backend(&cfg, Backend::Cereal).unwrap();
     assert!(
         cereal.report.ser_busy_ns < kryo.report.ser_busy_ns,
         "the accelerator must serialize faster than Kryo: {} vs {}",

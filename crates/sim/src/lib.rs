@@ -16,6 +16,9 @@
 //!   experiments.
 //! * [`disk`] — a block device (seek + bandwidth ledger) for the block
 //!   store's spill files.
+//! * [`fault`] — the seeded fault injector (wire corruption, link loss,
+//!   disk read errors, mapper death, accelerator faults) behind the
+//!   recovery experiments.
 //!
 //! The `cereal` crate builds the SU/DU pipeline models on top of
 //! [`mai`]+[`dram`]; the experiment harness builds the software baselines
@@ -25,6 +28,7 @@ pub mod cache;
 pub mod cpu;
 pub mod disk;
 pub mod dram;
+pub mod fault;
 pub mod mai;
 pub mod net;
 pub mod tlb;
@@ -33,6 +37,7 @@ pub use cache::{Cache, Hierarchy, HitLevel, LevelConfig};
 pub use cpu::{Cpu, CpuConfig, CpuReport, OpCosts};
 pub use disk::{Disk, DiskConfig};
 pub use dram::{Dram, DramConfig};
+pub use fault::{FaultConfig, FaultInjector};
 pub use mai::{Mai, MaiConfig, MaiStats, ReorderBuffer};
 pub use net::{Link, LinkConfig};
 pub use tlb::{Tlb, TlbConfig};

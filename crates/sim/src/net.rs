@@ -73,8 +73,15 @@ impl Link {
 
     /// Transmits `bytes` starting at `now_ns`; returns the arrival time
     /// of the last byte at the receiver.
+    ///
+    /// A zero-byte send (an empty partition's flush) is well-defined:
+    /// it pays only the one-way latency and charges nothing to the
+    /// bandwidth ledger.
     pub fn send(&mut self, bytes: u64, now_ns: f64) -> f64 {
-        debug_assert!(bytes > 0);
+        if bytes == 0 {
+            self.messages += 1;
+            return now_ns.max(0.0) + self.cfg.latency_ns;
+        }
         let cap = BUCKET_NS * self.cfg.bytes_per_ns;
         let mut bucket = (now_ns.max(0.0) / BUCKET_NS) as u64;
         let mut left = bytes as f64;
@@ -245,5 +252,22 @@ mod tests {
         l.send(200, 50.0);
         assert_eq!(l.total_bytes(), 300);
         assert_eq!(l.messages(), 2);
+    }
+
+    #[test]
+    fn empty_send_is_latency_only() {
+        let mut l = Link::new(LinkConfig::ten_gbe());
+        let done = l.send(0, 500.0);
+        assert_eq!(done, 500.0 + l.config().latency_ns);
+        assert_eq!(l.total_bytes(), 0, "no ledger charge for empty sends");
+        assert_eq!(l.messages(), 1);
+        // The ledger is untouched: a following full-bucket send is not
+        // delayed by the empty one.
+        let mut fresh = Link::new(LinkConfig::ten_gbe());
+        assert_eq!(l.send(1250, 0.0), fresh.send(1250, 0.0));
+        // And a fabric hop composes empty sends end to end.
+        let mut f = Fabric::full_mesh(2, 2, LinkConfig::ten_gbe());
+        let arrival = f.send(0, 1, 0, 0.0);
+        assert_eq!(arrival, LinkConfig::ten_gbe().latency_ns);
     }
 }

@@ -6,11 +6,21 @@
 //! time and schedule requests internally. The engine lives here (rather
 //! than in `shuffle`) because both the shuffle service and the block
 //! store serialize through it.
+//!
+//! Checksummed frames: with the `checksum` flag, streams leave the
+//! engine sealed with the [`sdformat::frame`] CRC-32 footer and every
+//! deserialization verifies integrity *before* decoding — so a
+//! corrupted stream surfaces as [`EngineError::Checksum`] for every
+//! backend, software and accelerator alike, instead of decoding
+//! garbage. Sealing and verification charge [`sdformat::crc_ns`] to the
+//! request's busy time.
 
 use cereal::Accelerator;
+use sdformat::frame;
 use sdheap::{Addr, Heap, KlassRegistry};
-use serializers::{JavaSd, JsonLike, Kryo, ProtoLike, Serializer, Skyway};
+use serializers::{JavaSd, JsonLike, Kryo, ProtoLike, SerError, Serializer, Skyway};
 use sim::Cpu;
+use std::fmt;
 
 /// Destination-heap base for reconstruction (clear of every source).
 pub const DST_BASE: u64 = 0x40_0000_0000;
@@ -55,6 +65,46 @@ impl Backend {
             Backend::ProtoLike => "ProtoLike",
             Backend::Cereal => "Cereal",
         }
+    }
+}
+
+/// Errors from a fallible engine operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The stream failed its CRC frame check — corruption detected
+    /// before any backend decoded a byte.
+    Checksum(sdformat::FrameError),
+    /// The backend rejected the (intact) stream.
+    Ser(SerError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Checksum(e) => write!(f, "checksum: {e}"),
+            EngineError::Ser(e) => write!(f, "serializer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Checksum(e) => Some(e),
+            EngineError::Ser(e) => Some(e),
+        }
+    }
+}
+
+impl From<sdformat::FrameError> for EngineError {
+    fn from(e: sdformat::FrameError) -> Self {
+        EngineError::Checksum(e)
+    }
+}
+
+impl From<SerError> for EngineError {
+    fn from(e: SerError) -> Self {
+        EngineError::Ser(e)
     }
 }
 
@@ -123,30 +173,84 @@ impl Engine {
         }
     }
 
+    /// Serializes the graph at `root`, optionally sealing the stream
+    /// with the CRC frame footer. The sealing cost
+    /// ([`sdformat::crc_ns`] over the payload) is charged to the
+    /// request's busy time (and to its completion time on the
+    /// accelerator's timeline).
+    pub fn serialize_framed(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        checksum: bool,
+    ) -> (Vec<u8>, SerTiming) {
+        let (mut bytes, mut t) = self.serialize(heap, reg, root);
+        if checksum {
+            let seal_ns = frame::crc_ns(bytes.len());
+            frame::seal_into(&mut bytes);
+            t.busy_ns += seal_ns;
+            t.done_ns = t.done_ns.map(|d| d + seal_ns);
+        }
+        (bytes, t)
+    }
+
     /// Reconstructs a stream into a fresh destination heap; returns the
     /// heap, the root, and the request's busy time.
+    ///
+    /// # Panics
+    /// Panics on a malformed stream — callers that can receive
+    /// corrupted or untrusted bytes use [`Engine::try_deserialize`].
     pub fn deserialize(
         &mut self,
         bytes: &[u8],
         reg: &KlassRegistry,
         capacity: u64,
     ) -> (Heap, Addr, f64) {
+        self.try_deserialize(bytes, reg, capacity, false)
+            .expect("stream produced by the matching serializer")
+    }
+
+    /// Reconstructs a stream into a fresh destination heap. With
+    /// `checksum`, the stream's CRC frame is verified *before* any
+    /// decoding — corruption surfaces as [`EngineError::Checksum`] for
+    /// every backend — and the verification cost is charged to the
+    /// returned busy time.
+    ///
+    /// # Errors
+    /// [`EngineError::Checksum`] on frame damage;
+    /// [`EngineError::Ser`] when the backend rejects the stream.
+    pub fn try_deserialize(
+        &mut self,
+        bytes: &[u8],
+        reg: &KlassRegistry,
+        capacity: u64,
+        checksum: bool,
+    ) -> Result<(Heap, Addr, f64), EngineError> {
+        let (payload, verify_ns) = if checksum {
+            (frame::verify(bytes)?, frame::crc_ns(bytes.len() - frame::FOOTER_BYTES))
+        } else {
+            (bytes, 0.0)
+        };
         let mut dst = Heap::with_base(Addr(DST_BASE), capacity);
         match self {
             Engine::Software(ser) => {
                 let mut cpu = Cpu::host();
-                let root = ser
-                    .deserialize(bytes, reg, &mut dst, &mut cpu)
-                    .expect("stream produced by the matching serializer");
+                let root = ser.deserialize(payload, reg, &mut dst, &mut cpu)?;
                 let ns = cpu.report().ns;
-                (dst, root, ns)
+                Ok((dst, root, ns + verify_ns))
             }
             Engine::Cereal(accel) => {
-                let r = accel
-                    .deserialize(bytes, &mut dst)
-                    .expect("stream produced by the accelerator");
-                (dst, r.root, r.run.busy_ns())
+                let r = accel.deserialize(payload, &mut dst)?;
+                Ok((dst, r.root, r.run.busy_ns() + verify_ns))
             }
         }
+    }
+
+    /// The simulated cost of verifying a framed stream of `framed_len`
+    /// total bytes (what a receiver pays to *detect* a corrupt frame
+    /// before requesting a retry).
+    pub fn verify_ns(framed_len: usize) -> f64 {
+        frame::crc_ns(framed_len.saturating_sub(frame::FOOTER_BYTES))
     }
 }

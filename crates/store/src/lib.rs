@@ -37,9 +37,10 @@ pub mod rdd;
 pub mod report;
 
 pub use block::{
-    Access, AccessOutcome, BlockSource, BlockStore, MissPolicy, NoLineage, StoreConfig, StoreStats,
+    Access, AccessOutcome, BlockSource, BlockStore, MissPolicy, NoLineage, StoreConfig,
+    StoreError, StoreStats,
 };
-pub use engine::{Backend, Engine, SerTiming, DST_BASE};
+pub use engine::{Backend, Engine, EngineError, SerTiming, DST_BASE};
 pub use par::par_map;
 pub use rdd::{build_part, run_rdd, AccessPattern, PartBuild, PassStats, RddConfig, RddOutcome};
 pub use report::{run_suite, RunRecord, StoreReport};

@@ -21,10 +21,12 @@ use std::collections::BTreeMap;
 use sdheap::gc;
 use sdheap::rng::Rng;
 use sdheap::{Addr, Heap, KlassRegistry};
-use sim::DiskConfig;
+use sim::{DiskConfig, FaultConfig};
 use workloads::AggConfig;
 
-use crate::block::{AccessOutcome, BlockSource, BlockStore, MissPolicy, StoreConfig, StoreStats};
+use crate::block::{
+    AccessOutcome, BlockSource, BlockStore, MissPolicy, StoreConfig, StoreError, StoreStats,
+};
 use crate::engine::{Backend, Engine};
 use crate::par::par_map;
 
@@ -67,6 +69,11 @@ pub struct RddConfig {
     pub access: AccessPattern,
     /// Worker threads for partition builds (does not affect results).
     pub jobs: usize,
+    /// Whether blocks carry the [`sdformat::frame`] CRC footer (sealed
+    /// at serialization, verified on every read).
+    pub checksum: bool,
+    /// Spill-reload fault injection (`None` = fault-free).
+    pub fault: Option<FaultConfig>,
 }
 
 /// One partition, built and measured (phase 1, parallel).
@@ -161,7 +168,7 @@ fn rebuild(cfg: &RddConfig, m: usize) -> (Vec<u8>, f64, f64, Heap, KlassRegistry
         heap.gc_clear_serialization_metadata(&reg);
     }
     let batch = coalesce(&mut heap, &reg, part.batch_klass, &part.records);
-    let (bytes, t) = engine.serialize(&mut heap, &reg, batch);
+    let (bytes, t) = engine.serialize_framed(&mut heap, &reg, batch, cfg.checksum);
     let (_, _, stats) =
         gc::collect(&heap, &reg, &[batch]).expect("live batch fits the semispace");
     let recompute_ns = stats.simulated_cost_ns() + t.busy_ns;
@@ -173,7 +180,9 @@ pub fn build_part(cfg: &RddConfig, m: usize) -> PartBuild {
     let (bytes, ser_ns, recompute_ns, heap, reg, batch) = rebuild(cfg, m);
     let src_fold = fold_batch(&heap, batch);
     let mut engine = Engine::new(cfg.backend, &reg);
-    let (dheap, droot, de_ns) = engine.deserialize(&bytes, &reg, cfg.agg.heap_capacity());
+    let (dheap, droot, de_ns) = engine
+        .try_deserialize(&bytes, &reg, cfg.agg.heap_capacity(), cfg.checksum)
+        .expect("freshly serialized block round-trips");
     let fold = fold_batch(&dheap, droot);
     assert_eq!(fold, src_fold, "partition {m}: reconstruction changed the fold");
     PartBuild { bytes, ser_ns, de_ns, recompute_ns, fold }
@@ -187,13 +196,13 @@ struct Lineage<'a> {
 }
 
 impl BlockSource for Lineage<'_> {
-    fn recompute(&mut self, id: usize) -> (Vec<u8>, f64) {
+    fn recompute(&mut self, id: usize) -> Result<(Vec<u8>, f64), StoreError> {
         let (bytes, _, recompute_ns, _, _, _) = rebuild(self.cfg, id);
         assert_eq!(
             bytes, self.parts[id].bytes,
             "partition {id}: lineage recomputation must reproduce the stream"
         );
-        (bytes, recompute_ns)
+        Ok((bytes, recompute_ns))
     }
 }
 
@@ -212,7 +221,11 @@ fn pass_order(cfg: &RddConfig, pass: usize) -> Vec<usize> {
 
 /// Runs the cached-RDD job: parallel partition builds, then a sequential
 /// store simulation (materialize + `passes` re-reads).
-pub fn run_rdd(cfg: &RddConfig) -> RddOutcome {
+///
+/// # Errors
+/// Propagates [`StoreError`] from faulted accesses the store cannot
+/// recover (e.g. corruption injected without checksums).
+pub fn run_rdd(cfg: &RddConfig) -> Result<RddOutcome, StoreError> {
     let n = cfg.agg.mappers;
     let parts: Vec<PartBuild> = par_map(cfg.jobs, n, |m| build_part(cfg, m));
 
@@ -239,6 +252,8 @@ pub fn run_rdd(cfg: &RddConfig) -> RddOutcome {
         memory_budget: budget_bytes,
         disk: cfg.disk,
         policy: cfg.policy,
+        fault: cfg.fault,
+        checksum: cfg.checksum,
     });
 
     // Phase 2: one sequential driver timeline.
@@ -257,7 +272,7 @@ pub fn run_rdd(cfg: &RddConfig) -> RddOutcome {
         let before = store.stats();
         let start = now;
         for m in pass_order(cfg, pass) {
-            let access = store.get(m, now, &mut lineage);
+            let access = store.get(m, now, &mut lineage)?;
             now = access.done_ns;
             match access.outcome {
                 // Serialized caching pays deserialization on every read;
@@ -275,7 +290,7 @@ pub fn run_rdd(cfg: &RddConfig) -> RddOutcome {
         });
     }
 
-    RddOutcome {
+    Ok(RddOutcome {
         dataset_bytes,
         budget_bytes,
         materialize_ns,
@@ -286,5 +301,5 @@ pub fn run_rdd(cfg: &RddConfig) -> RddOutcome {
         disk_write_bytes: store.disk().write_bytes(),
         disk_seeks: store.disk().seeks(),
         fold_ok,
-    }
+    })
 }

@@ -5,6 +5,7 @@
 //! rendered JSON is byte-identical across runs and job counts
 //! (test- and CI-enforced for `--jobs 1` vs `--jobs 4`).
 
+use crate::block::StoreError;
 use crate::rdd::{run_rdd, AccessPattern, RddConfig, RddOutcome};
 
 /// One cached-RDD run: the knobs that varied plus the outcome.
@@ -19,26 +20,44 @@ pub struct RunRecord {
     pub disk: &'static str,
     /// Access-pattern label.
     pub access: String,
+    /// Whether the run used checksummed frames or fault injection (the
+    /// fault fields render only when set, so fault-free reports stay
+    /// byte-identical to the pre-fault harness).
+    pub faulted: bool,
     /// The run's measurements.
     pub outcome: RddOutcome,
 }
 
 impl RunRecord {
     /// Runs one configuration and records it.
-    pub fn run(cfg: &RddConfig) -> RunRecord {
-        RunRecord {
+    ///
+    /// # Errors
+    /// Propagates [`StoreError`] from unrecoverable faulted accesses.
+    pub fn run(cfg: &RddConfig) -> Result<RunRecord, StoreError> {
+        Ok(RunRecord {
             backend: cfg.backend.name(),
             memory_fraction: cfg.memory_fraction,
             policy: cfg.policy.name(),
             disk: cfg.disk.name,
             access: cfg.access.label(),
-            outcome: run_rdd(cfg),
-        }
+            faulted: cfg.checksum || cfg.fault.is_some_and(|f| f.enabled()),
+            outcome: run_rdd(cfg)?,
+        })
     }
 
     fn to_json(&self) -> String {
         let o = &self.outcome;
         let s = &o.store;
+        // Appended only for faulted/checksummed runs: fault-free JSON is
+        // byte-identical to the pre-fault harness.
+        let fault = if self.faulted {
+            format!(
+                ",\n\x20     \"read_retries\": {}, \"retry_ns\": {:.3}, \"checksum_errors\": {}",
+                s.read_retries, s.retry_ns, s.checksum_errors
+            )
+        } else {
+            String::new()
+        };
         let passes: Vec<String> = o
             .passes
             .iter()
@@ -56,7 +75,7 @@ impl RunRecord {
              \x20     \"hits\": {}, \"disk_fetches\": {}, \"recomputes\": {},\n\
              \x20     \"evictions\": {}, \"evicted_bytes\": {}, \"spills\": {}, \"spilled_bytes\": {},\n\
              \x20     \"disk_read_bytes\": {}, \"disk_write_bytes\": {}, \"disk_seeks\": {},\n\
-             \x20     \"materialize_ns\": {:.3}, \"total_ns\": {:.3}, \"fold_ok\": {},\n\
+             \x20     \"materialize_ns\": {:.3}, \"total_ns\": {:.3}, \"fold_ok\": {}{},\n\
              \x20     \"passes\": [{}]}}",
             self.backend,
             self.memory_fraction,
@@ -78,6 +97,7 @@ impl RunRecord {
             o.materialize_ns,
             o.total_ns,
             o.fold_ok,
+            fault,
             passes.join(", ")
         )
     }
@@ -132,7 +152,7 @@ pub fn run_suite(
     base: &RddConfig,
     backends: &[crate::Backend],
     fractions: &[f64],
-) -> StoreReport {
+) -> Result<StoreReport, StoreError> {
     let mut runs = Vec::new();
     for &backend in backends {
         for &frac in fractions {
@@ -140,7 +160,7 @@ pub fn run_suite(
                 backend,
                 memory_fraction: frac,
                 ..*base
-            }));
+            })?);
         }
     }
     // Policy crossover: a slow-seek device flips the auto policy to
@@ -157,7 +177,7 @@ pub fn run_suite(
                 policy,
                 disk,
                 ..*base
-            }));
+            })?);
         }
     }
     // Skewed re-reads: hot partitions stay resident, the tail thrashes.
@@ -167,14 +187,14 @@ pub fn run_suite(
             memory_fraction: frac,
             access: AccessPattern::Zipf(1.1),
             ..*base
-        }));
+        })?);
     }
-    StoreReport {
+    Ok(StoreReport {
         partitions: base.agg.mappers,
         records_per_partition: base.agg.records_per_mapper,
         distinct_keys: base.agg.distinct_keys,
         seed: base.agg.seed,
         passes: base.passes,
         runs,
-    }
+    })
 }

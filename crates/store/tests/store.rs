@@ -29,6 +29,8 @@ fn tiny(backend: Backend) -> RddConfig {
         disk: DiskConfig::ssd(),
         access: AccessPattern::Scan,
         jobs: 1,
+        checksum: false,
+        fault: None,
     }
 }
 
@@ -38,8 +40,8 @@ fn tiny(backend: Backend) -> RddConfig {
 #[test]
 fn eviction_order_is_deterministic() {
     let cfg = tiny(Backend::Kryo);
-    let a = run_rdd(&cfg);
-    let b = run_rdd(&cfg);
+    let a = run_rdd(&cfg).unwrap();
+    let b = run_rdd(&cfg).unwrap();
     assert_eq!(a.store, b.store);
     assert_eq!(a.total_ns.to_bits(), b.total_ns.to_bits());
     assert_eq!(a.materialize_ns.to_bits(), b.materialize_ns.to_bits());
@@ -62,20 +64,18 @@ fn spill_and_reload_is_byte_identical_per_backend() {
     for backend in Backend::all() {
         let cfg = tiny(backend);
         let parts: Vec<_> = (0..cfg.agg.mappers).map(|m| build_part(&cfg, m)).collect();
-        let mut store = BlockStore::new(StoreConfig {
-            // Room for one block at a time: every put evicts the
-            // previous block to disk.
-            memory_budget: parts.iter().map(|p| p.bytes.len() as u64).max().unwrap(),
-            disk: DiskConfig::ssd(),
-            policy: MissPolicy::Fetch,
-        });
+        // Room for one block at a time: every put evicts the previous
+        // block to disk.
+        let budget = parts.iter().map(|p| p.bytes.len() as u64).max().unwrap();
+        let mut store =
+            BlockStore::new(StoreConfig::plain(budget, DiskConfig::ssd(), MissPolicy::Fetch));
         let mut now = 0.0;
         for p in &parts {
             let (_, done) = store.put(p.bytes.clone(), p.recompute_ns, now);
             now = done;
         }
         for (m, p) in parts.iter().enumerate() {
-            let access = store.get(m, now, &mut NoLineage);
+            let access = store.get(m, now, &mut NoLineage).unwrap();
             now = access.done_ns;
             assert_eq!(
                 store.bytes(m).unwrap(),
@@ -99,19 +99,22 @@ fn spill_and_reload_is_byte_identical_per_backend() {
 fn auto_policy_crosses_over_with_the_disk() {
     let base = tiny(Backend::Kryo);
 
-    let hdd = run_rdd(&RddConfig { policy: MissPolicy::Auto, disk: DiskConfig::hdd(), ..base });
+    let hdd =
+        run_rdd(&RddConfig { policy: MissPolicy::Auto, disk: DiskConfig::hdd(), ..base }).unwrap();
     assert!(hdd.store.recomputes > 0, "HDD seeks dwarf recomputation");
     assert_eq!(hdd.store.spills, 0);
     assert!(hdd.fold_ok);
 
-    let nvme = run_rdd(&RddConfig { policy: MissPolicy::Auto, disk: DiskConfig::nvme(), ..base });
+    let nvme =
+        run_rdd(&RddConfig { policy: MissPolicy::Auto, disk: DiskConfig::nvme(), ..base }).unwrap();
     assert!(nvme.store.disk_fetches > 0, "NVMe fetches beat recomputation");
     assert_eq!(nvme.store.recomputes, 0);
     assert!(nvme.fold_ok);
 
     for (auto, disk) in [(&hdd, DiskConfig::hdd()), (&nvme, DiskConfig::nvme())] {
-        let fetch = run_rdd(&RddConfig { policy: MissPolicy::Fetch, disk, ..base });
-        let recompute = run_rdd(&RddConfig { policy: MissPolicy::Recompute, disk, ..base });
+        let fetch = run_rdd(&RddConfig { policy: MissPolicy::Fetch, disk, ..base }).unwrap();
+        let recompute =
+            run_rdd(&RddConfig { policy: MissPolicy::Recompute, disk, ..base }).unwrap();
         let best = fetch.total_ns.min(recompute.total_ns);
         assert!(
             auto.total_ns <= best + 1e-6,
@@ -129,8 +132,8 @@ fn auto_policy_crosses_over_with_the_disk() {
 #[test]
 fn skewed_access_hits_where_scans_thrash() {
     let base = tiny(Backend::Kryo);
-    let scan = run_rdd(&base);
-    let zipf = run_rdd(&RddConfig { access: AccessPattern::Zipf(1.2), ..base });
+    let scan = run_rdd(&base).unwrap();
+    let zipf = run_rdd(&RddConfig { access: AccessPattern::Zipf(1.2), ..base }).unwrap();
     let scan_hits: u64 = scan.passes.iter().map(|p| p.hits).sum();
     let zipf_hits: u64 = zipf.passes.iter().map(|p| p.hits).sum();
     assert_eq!(scan_hits, 0);
@@ -144,7 +147,7 @@ fn suite_report_is_job_count_invariant() {
     let fractions = [0.4, 1.0];
     let report = |jobs| {
         let base = RddConfig { jobs, passes: 2, ..tiny(Backend::Kryo) };
-        run_suite(&base, &backends, &fractions).to_json()
+        run_suite(&base, &backends, &fractions).unwrap().to_json()
     };
     let one = report(1);
     let four = report(4);

@@ -35,4 +35,14 @@ cargo run --release -p cereal-bench --bin store $CARGO_FLAGS -- \
 cmp target/store_jobs1.json target/store_jobs4.json \
   || { echo "store report differs between 1 and 4 jobs"; exit 1; }
 
+echo "== faults smoke + thread-count determinism =="
+# The harness itself asserts the rate-0.0 sweep point reproduces the
+# fault-free baseline numbers exactly.
+cargo run --release -p cereal-bench --bin faults $CARGO_FLAGS -- \
+  --smoke --jobs 1 --out target/faults_jobs1.json
+cargo run --release -p cereal-bench --bin faults $CARGO_FLAGS -- \
+  --smoke --jobs 4 --out target/faults_jobs4.json
+cmp target/faults_jobs1.json target/faults_jobs4.json \
+  || { echo "faults report differs between 1 and 4 jobs"; exit 1; }
+
 echo "verify: OK"
