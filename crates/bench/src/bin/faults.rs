@@ -22,9 +22,16 @@ use cereal_bench::table::{ns, Table};
 use shuffle::{run_backend, Backend, FaultSpec, ShuffleConfig};
 use sim::FaultConfig;
 use store::{run_rdd, AccessPattern, MissPolicy, RddConfig};
+use telemetry::{ratio, JsonWriter};
 use workloads::{AggConfig, KeySkew};
 
 const FAULT_SEED: u64 = 0xFA17_5EED;
+
+/// Writes a fault rate with `Display` precision (0.05, not 0.050000).
+fn rate_field(w: &mut JsonWriter, k: &str, rate: f64) {
+    w.key(k);
+    w.raw_val(&format!("{rate}"));
+}
 
 struct ShuffleRow {
     backend: &'static str,
@@ -34,35 +41,32 @@ struct ShuffleRow {
 }
 
 impl ShuffleRow {
-    fn to_json(&self) -> String {
+    fn render(&self, w: &mut JsonWriter) {
         let f = self.report.faults.expect("sweep rows carry fault counters");
-        format!(
-            "    {{\"backend\": \"{}\", \"rate\": {}, \"makespan_ns\": {:.3},\n\
-             \x20     \"retries\": {}, \"lost_messages\": {}, \"wire_corruptions\": {},\n\
-             \x20     \"checksum_errors\": {}, \"mapper_deaths\": {}, \"reexec_ns\": {:.3},\n\
-             \x20     \"accel_faults\": {}, \"fallback_ns\": {:.3}, \"spill_retries\": {},\n\
-             \x20     \"recovery_ns\": {:.3}, \"fabric_bytes\": {}, \"goodput\": {:.6},\n\
-             \x20     \"recovery_share\": {:.6}, \"makespan_inflation\": {:.6},\n\
-             \x20     \"fold_checksum\": \"{:016x}\"}}",
-            self.backend,
-            self.rate,
-            self.report.net.makespan_ns,
-            f.retries,
-            f.lost_messages,
-            f.wire_corruptions,
-            f.checksum_errors,
-            f.mapper_deaths,
-            f.reexec_ns,
-            f.accel_faults,
-            f.fallback_ns,
-            f.spill_retries,
-            f.recovery_ns,
-            f.fabric_bytes,
-            f.goodput(self.report.wire_bytes),
-            f.recovery_ns / self.report.net.makespan_ns,
-            self.report.net.makespan_ns / self.baseline_makespan_ns,
-            self.report.fold_checksum,
-        )
+        w.begin_obj();
+        w.field_str("backend", self.backend);
+        rate_field(w, "rate", self.rate);
+        w.field_f64("makespan_ns", self.report.net.makespan_ns, 3);
+        w.field_u64("retries", f.retries);
+        w.field_u64("lost_messages", f.lost_messages);
+        w.field_u64("wire_corruptions", f.wire_corruptions);
+        w.field_u64("checksum_errors", f.checksum_errors);
+        w.field_u64("mapper_deaths", f.mapper_deaths);
+        w.field_f64("reexec_ns", f.reexec_ns, 3);
+        w.field_u64("accel_faults", f.accel_faults);
+        w.field_f64("fallback_ns", f.fallback_ns, 3);
+        w.field_u64("spill_retries", f.spill_retries);
+        w.field_f64("recovery_ns", f.recovery_ns, 3);
+        w.field_u64("fabric_bytes", f.fabric_bytes);
+        w.field_f64("goodput", f.goodput(self.report.wire_bytes), 6);
+        w.field_f64("recovery_share", ratio(f.recovery_ns, self.report.net.makespan_ns), 6);
+        w.field_f64(
+            "makespan_inflation",
+            ratio(self.report.net.makespan_ns, self.baseline_makespan_ns),
+            6,
+        );
+        w.field_str("fold_checksum", &format!("{:016x}", self.report.fold_checksum));
+        w.end_obj();
     }
 }
 
@@ -74,21 +78,18 @@ struct StoreRow {
 }
 
 impl StoreRow {
-    fn to_json(&self) -> String {
+    fn render(&self, w: &mut JsonWriter) {
         let s = &self.stats;
-        format!(
-            "    {{\"rate\": {}, \"total_ns\": {:.3}, \"read_retries\": {}, \"retry_ns\": {:.3},\n\
-             \x20     \"checksum_errors\": {}, \"recomputes\": {}, \"disk_fetches\": {},\n\
-             \x20     \"total_inflation\": {:.6}}}",
-            self.rate,
-            self.total_ns,
-            s.read_retries,
-            s.retry_ns,
-            s.checksum_errors,
-            s.recomputes,
-            s.disk_fetches,
-            self.total_ns / self.baseline_total_ns,
-        )
+        w.begin_obj();
+        rate_field(w, "rate", self.rate);
+        w.field_f64("total_ns", self.total_ns, 3);
+        w.field_u64("read_retries", s.read_retries);
+        w.field_f64("retry_ns", s.retry_ns, 3);
+        w.field_u64("checksum_errors", s.checksum_errors);
+        w.field_u64("recomputes", s.recomputes);
+        w.field_u64("disk_fetches", s.disk_fetches);
+        w.field_f64("total_inflation", ratio(self.total_ns, self.baseline_total_ns), 6);
+        w.end_obj();
     }
 }
 
@@ -129,18 +130,14 @@ fn main() {
     );
 
     let mut shuffle_rows: Vec<ShuffleRow> = Vec::new();
-    let mut baselines: Vec<String> = Vec::new();
+    let mut baselines: Vec<(&'static str, f64, u64, u64)> = Vec::new();
     for backend in backends {
         let base_run = run_backend(&shuffle_cfg, backend).unwrap_or_else(|e| {
             eprintln!("fault-free {} run failed: {e}", backend.name());
             std::process::exit(1);
         });
         let base = base_run.report;
-        baselines.push(format!(
-            "    {{\"backend\": \"{}\", \"makespan_ns\": {:.3}, \"wire_bytes\": {},\n\
-             \x20     \"fold_checksum\": \"{:016x}\"}}",
-            base.name, base.net.makespan_ns, base.wire_bytes, base.fold_checksum
-        ));
+        baselines.push((base.name, base.net.makespan_ns, base.wire_bytes, base.fold_checksum));
         for &rate in rates {
             let mut cfg = shuffle_cfg;
             cfg.faults = Some(FaultSpec::uniform(rate, FAULT_SEED));
@@ -254,24 +251,48 @@ fn main() {
     }
     eprintln!("{}", t.render());
 
-    let json = format!(
-        "{{\n\
-         \x20 \"generated_by\": \"cereal-bench --bin faults\",\n\
-         \x20 \"smoke\": {smoke},\n\
-         \x20 \"fault_seed\": {FAULT_SEED},\n\
-         \x20 \"rates\": [{}],\n\
-         \x20 \"shuffle_baseline\": [\n{}\n\x20 ],\n\
-         \x20 \"shuffle_sweep\": [\n{}\n\x20 ],\n\
-         \x20 \"store_baseline\": {{\"total_ns\": {:.3}, \"disk_fetches\": {}}},\n\
-         \x20 \"store_sweep\": [\n{}\n\x20 ]\n\
-         }}\n",
-        rates.iter().map(f64::to_string).collect::<Vec<_>>().join(", "),
-        baselines.join(",\n"),
-        shuffle_rows.iter().map(ShuffleRow::to_json).collect::<Vec<_>>().join(",\n"),
-        base.total_ns,
-        base.store.disk_fetches,
-        store_rows.iter().map(StoreRow::to_json).collect::<Vec<_>>().join(",\n"),
-    );
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("generated_by", "cereal-bench --bin faults");
+    w.field_bool("smoke", smoke);
+    w.field_u64("fault_seed", FAULT_SEED);
+    w.key("rates");
+    w.begin_arr();
+    for &rate in rates {
+        w.raw_val(&format!("{rate}"));
+    }
+    w.end_arr();
+    w.key("shuffle_baseline");
+    w.begin_arr();
+    for &(name, makespan_ns, wire_bytes, fold_checksum) in &baselines {
+        w.begin_obj();
+        w.field_str("backend", name);
+        w.field_f64("makespan_ns", makespan_ns, 3);
+        w.field_u64("wire_bytes", wire_bytes);
+        w.field_str("fold_checksum", &format!("{fold_checksum:016x}"));
+        w.end_obj();
+    }
+    w.end_arr();
+    w.key("shuffle_sweep");
+    w.begin_arr();
+    for r in &shuffle_rows {
+        r.render(&mut w);
+    }
+    w.end_arr();
+    w.key("store_baseline");
+    w.begin_obj();
+    w.field_f64("total_ns", base.total_ns, 3);
+    w.field_u64("disk_fetches", base.store.disk_fetches);
+    w.end_obj();
+    w.key("store_sweep");
+    w.begin_arr();
+    for r in &store_rows {
+        r.render(&mut w);
+    }
+    w.end_arr();
+    w.end_obj();
+    let mut json = w.finish();
+    json.push('\n');
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 }

@@ -12,6 +12,7 @@
 
 use cereal_bench::table::{ns, Table};
 use shuffle::{run_suite, Backend, ShuffleConfig, ShuffleReport};
+use telemetry::json::nest;
 
 fn summarize(title: &str, report: &ShuffleReport) {
     eprintln!("{title}");
@@ -42,16 +43,6 @@ fn summarize(title: &str, report: &ShuffleReport) {
         ]);
     }
     eprintln!("{}", t.render());
-}
-
-/// Indents a rendered report so it nests inside the wrapper object.
-fn indent(json: &str) -> String {
-    json.trim_end()
-        .lines()
-        .enumerate()
-        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("  {l}") })
-        .collect::<Vec<_>>()
-        .join("\n")
 }
 
 fn main() {
@@ -106,8 +97,8 @@ fn main() {
          \x20 \"main\": {},\n\
          \x20 \"gc_pressure\": {}\n\
          }}\n",
-        indent(&main.to_json()),
-        indent(&gc.to_json()),
+        nest(&main.to_json()),
+        nest(&gc.to_json()),
     );
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");

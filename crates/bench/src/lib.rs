@@ -23,5 +23,6 @@ pub mod render;
 pub mod runners;
 pub mod spark_suite;
 pub mod table;
+pub mod trace_suite;
 
 pub use runners::{repeat_root, run_cereal, run_software, SdMeasure};

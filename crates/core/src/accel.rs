@@ -14,6 +14,8 @@
 use sdheap::{Addr, Heap, KlassId, KlassRegistry};
 use serializers::SerError;
 use sim::Dram;
+use telemetry::ids::DU_TID_BASE;
+use telemetry::{EntityId, Sink, Span};
 
 use crate::config::CerealConfig;
 use crate::du::DeserializationUnit;
@@ -245,6 +247,46 @@ impl Accelerator {
         })
     }
 
+    /// [`Accelerator::serialize_into`] plus telemetry: emits one
+    /// `su.serialize` span on `(pid, unit)` per request and the
+    /// accelerator request/byte/busy metrics. With a no-op sink this is
+    /// exactly `serialize_into`.
+    ///
+    /// # Errors
+    /// [`SerError`] for unregistered classes or the shared-object
+    /// software-fallback case.
+    pub fn serialize_into_traced<S: Sink>(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        out: &mut Vec<u8>,
+        sink: &mut S,
+        pid: u32,
+    ) -> Result<SerMeta, SerError> {
+        let meta = self.serialize_into(heap, reg, root, out)?;
+        if S::ENABLED {
+            let tid = meta.unit as u32;
+            sink.name_process(pid, "cereal accelerator");
+            sink.name_thread(pid, tid, &format!("SU {}", meta.unit));
+            sink.span(Span {
+                entity: EntityId { pid, tid },
+                name: "su.serialize",
+                t0_ns: meta.run.start_ns,
+                t1_ns: meta.run.end_ns,
+                attrs: vec![
+                    ("stream_bytes", (meta.len as u64).into()),
+                    ("read_bytes", meta.run.read_bytes.into()),
+                    ("write_bytes", meta.run.write_bytes.into()),
+                ],
+            });
+            sink.count("accel.ser_requests", 1);
+            sink.count("accel.ser_bytes", meta.len as u64);
+            sink.observe("accel.su_busy_ns", meta.run.busy_ns());
+        }
+        Ok(meta)
+    }
+
     /// Like [`Accelerator::serialize`], but when the hardware path hits a
     /// shared object whose header another unit reserved, the request
     /// falls back to **software serialization** (§V-E): the same stream
@@ -313,6 +355,44 @@ impl Accelerator {
         self.de_requests += 1;
         self.de_makespan = self.de_makespan.max(run.end_ns);
         Ok(DeResult { root, run, unit })
+    }
+
+    /// [`Accelerator::deserialize`] plus telemetry: emits one
+    /// `du.deserialize` span on `(pid, DU_TID_BASE + unit)` per request
+    /// and the request/busy metrics. With a no-op sink this is exactly
+    /// `deserialize`.
+    ///
+    /// # Errors
+    /// [`SerError`] on malformed streams, unregistered class IDs, or heap
+    /// exhaustion.
+    pub fn deserialize_traced<S: Sink>(
+        &mut self,
+        bytes: &[u8],
+        dst: &mut Heap,
+        sink: &mut S,
+        pid: u32,
+    ) -> Result<DeResult, SerError> {
+        let res = self.deserialize(bytes, dst)?;
+        if S::ENABLED {
+            let tid = DU_TID_BASE + res.unit as u32;
+            sink.name_process(pid, "cereal accelerator");
+            sink.name_thread(pid, tid, &format!("DU {}", res.unit));
+            sink.span(Span {
+                entity: EntityId { pid, tid },
+                name: "du.deserialize",
+                t0_ns: res.run.start_ns,
+                t1_ns: res.run.end_ns,
+                attrs: vec![
+                    ("stream_bytes", (bytes.len() as u64).into()),
+                    ("read_bytes", res.run.read_bytes.into()),
+                    ("write_bytes", res.run.write_bytes.into()),
+                ],
+            });
+            sink.count("accel.de_requests", 1);
+            sink.count("accel.de_bytes", bytes.len() as u64);
+            sink.observe("accel.du_busy_ns", res.run.busy_ns());
+        }
+        Ok(res)
     }
 
     /// Aggregate report since the last meter reset.
@@ -506,6 +586,55 @@ mod tests {
             assert!(!meta.fell_back);
         }
         assert_eq!(a.report().ser_requests, b.report().ser_requests);
+    }
+
+    #[test]
+    fn traced_paths_match_untraced_and_record_unit_spans() {
+        use telemetry::{NoopSink, Recorder};
+        // Two identical heaps: sharing one would make the first pass's
+        // visit marks read as the second accelerator's revisits (the
+        // counter-collision noted in serialize_into_matches_serialize).
+        let (mut heap, reg, root) = list(100);
+        let (mut heap_t, reg_t, root_t) = list(100);
+        let mut plain = Accelerator::paper();
+        let mut traced = Accelerator::paper();
+        plain.register_all(&reg).unwrap();
+        traced.register_all(&reg_t).unwrap();
+
+        let mut rec = Recorder::new();
+        let mut buf_a = Vec::new();
+        let mut buf_b = Vec::new();
+        let a = plain.serialize_into(&mut heap, &reg, root, &mut buf_a).unwrap();
+        let b = traced
+            .serialize_into_traced(&mut heap_t, &reg_t, root_t, &mut buf_b, &mut rec, 900)
+            .unwrap();
+        // Identical bytes and bit-identical timing: tracing observes, it
+        // never perturbs.
+        assert_eq!(buf_a, buf_b);
+        assert_eq!(a.run.end_ns.to_bits(), b.run.end_ns.to_bits());
+        assert_eq!(rec.spans.len(), 1);
+        assert_eq!(rec.spans[0].name, "su.serialize");
+        assert_eq!(rec.spans[0].entity.pid, 900);
+        assert_eq!(rec.metrics.counter("accel.ser_bytes"), buf_b.len() as u64);
+
+        let mut dst_a = Heap::with_base(Addr(0x2_0000_0000), 1 << 22);
+        let mut dst_b = Heap::with_base(Addr(0x2_0000_0000), 1 << 22);
+        let da = plain.deserialize(&buf_a, &mut dst_a).unwrap();
+        let db = traced
+            .deserialize_traced(&buf_b, &mut dst_b, &mut rec, 900)
+            .unwrap();
+        assert_eq!(da.run.end_ns.to_bits(), db.run.end_ns.to_bits());
+        assert_eq!(rec.spans[1].name, "du.deserialize");
+        assert_eq!(rec.spans[1].entity.tid, telemetry::ids::DU_TID_BASE);
+        assert_eq!(rec.metrics.counter("accel.de_requests"), 1);
+
+        // The no-op sink compiles through the same call.
+        let mut noop = NoopSink;
+        let mut buf_c = Vec::new();
+        traced
+            .serialize_into_traced(&mut heap_t, &reg_t, root_t, &mut buf_c, &mut noop, 900)
+            .unwrap();
+        assert_eq!(buf_c, buf_a);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use crate::ShuffleConfig;
 use sdheap::{Addr, GcStats};
 use sim::FaultConfig;
 use store::{Backend, BlockStore, Engine, MissPolicy, NoLineage, StoreConfig};
+use telemetry::ids::{MAPPER_PID_BASE, T_DISK, T_MAIN, T_NIC, T_SEND};
+use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
 use workloads::spark::agg::RECORD_HEAP_BYTES;
 
 /// One serialized batch on its way from a mapper to a reducer.
@@ -139,6 +141,36 @@ pub fn run_mapper(
     backend: Backend,
     m: usize,
 ) -> Result<MapOutcome, ShuffleError> {
+    run_mapper_sunk(cfg, backend, m, &mut NoopSink)
+}
+
+/// [`run_mapper`] with a telemetry sink: the mapper's simulated
+/// timeline is emitted as spans on its own process — `serialize` spans
+/// (and `accel.fault` instants) on the main lane, `gc.pause` spans
+/// between waves, `serve.fetch` spans for the shuffle-file serve, and
+/// the spill store's device busy windows as `disk.read`/`disk.write`
+/// spans on the disk lane. Counters (`shuffle.*`) are booked at the
+/// event sites so they reconcile with the composed [`MapOutcome`] by
+/// construction. The returned outcome is identical to the untraced
+/// path for any sink.
+///
+/// # Errors
+/// Same as [`run_mapper`].
+pub fn run_mapper_sunk<S: Sink>(
+    cfg: &ShuffleConfig,
+    backend: Backend,
+    m: usize,
+    sink: &mut S,
+) -> Result<MapOutcome, ShuffleError> {
+    let pid = MAPPER_PID_BASE + m as u32;
+    let main = EntityId { pid, tid: T_MAIN };
+    if S::ENABLED {
+        sink.name_process(pid, &format!("mapper {m}"));
+        sink.name_thread(pid, T_MAIN, "map");
+        sink.name_thread(pid, T_DISK, "spill disk");
+        sink.name_thread(pid, T_SEND, "send");
+        sink.name_thread(pid, T_NIC, "nic");
+    }
     let part = cfg.agg().build_partition(m);
     let mut heap = part.heap;
     let reg = part.reg;
@@ -188,6 +220,11 @@ pub fn run_mapper(
             checksum: cfg.checksum,
         })
     });
+    if S::ENABLED {
+        if let Some(store) = &mut blocks {
+            store.record_disk_tape();
+        }
+    }
 
     let mut flush = |dst: usize,
                      pending: &mut Vec<Addr>,
@@ -195,7 +232,8 @@ pub fn run_mapper(
                      engine: &mut Engine,
                      blocks: &mut Option<BlockStore>,
                      clock: &mut f64,
-                     pause_total: f64| {
+                     pause_total: f64,
+                     sink: &mut S| {
         if pending.is_empty() {
             return;
         }
@@ -210,12 +248,12 @@ pub fn run_mapper(
             // Hardware request faulted: this partition degrades to the
             // software fallback, paying its busy time on the host core.
             let fb = fallback.get_or_insert_with(|| Engine::new(fallback_backend, &reg));
-            let (bytes, t) = fb.serialize_framed(heap, &reg, batch, cfg.checksum);
+            let (bytes, t) = fb.serialize_framed_sunk(heap, &reg, batch, cfg.checksum, sink);
             faults.accel_faults += 1;
             faults.fallback_ns += t.busy_ns;
             (bytes, t, fallback_backend)
         } else {
-            let (bytes, t) = engine.serialize_framed(heap, &reg, batch, cfg.checksum);
+            let (bytes, t) = engine.serialize_framed_sunk(heap, &reg, batch, cfg.checksum, sink);
             (bytes, t, backend)
         };
         let ser_done = match t.done_ns {
@@ -227,6 +265,32 @@ pub fn run_mapper(
         };
         *clock = clock.max(ser_done);
         ser_busy += t.busy_ns;
+        if S::ENABLED {
+            sink.count("shuffle.messages", 1);
+            sink.count("shuffle.wire_bytes", bytes.len() as u64);
+            sink.observe("shuffle.ser_busy_ns", t.busy_ns);
+            sink.span(Span {
+                entity: main,
+                name: "serialize",
+                t0_ns: ser_done - t.busy_ns,
+                t1_ns: ser_done,
+                attrs: vec![
+                    ("dst", (dst as u64).into()),
+                    ("bytes", (bytes.len() as u64).into()),
+                    ("records", (pending.len() as u64).into()),
+                    ("backend", used_backend.name().into()),
+                ],
+            });
+            if accel_faulted {
+                sink.count("shuffle.accel_faults", 1);
+                sink.instant(Instant {
+                    entity: main,
+                    name: "accel.fault",
+                    t_ns: ser_done - t.busy_ns,
+                    attrs: Vec::new(),
+                });
+            }
+        }
         let bytes = match blocks {
             // Batches park in the block store until serve time; eviction
             // spill writes are charged to the mapper's clock here.
@@ -263,7 +327,7 @@ pub fn run_mapper(
             pending[dst].push(r);
             if pending[dst].len() as u64 * RECORD_HEAP_BYTES >= cfg.flush_bytes {
                 let mut q = std::mem::take(&mut pending[dst]);
-                flush(dst, &mut q, &mut heap, &mut engine, &mut blocks, &mut clock, pause_total);
+                flush(dst, &mut q, &mut heap, &mut engine, &mut blocks, &mut clock, pause_total, &mut *sink);
                 pending[dst] = q;
             }
             i += 1;
@@ -289,6 +353,20 @@ pub fn run_mapper(
                 }
             }
             let pause = stats.simulated_cost_ns();
+            if S::ENABLED {
+                sink.count("shuffle.gc_collections", 1);
+                sink.observe("shuffle.gc_pause_ns", pause);
+                sink.span(Span {
+                    entity: main,
+                    name: "gc.pause",
+                    t0_ns: clock,
+                    t1_ns: clock + pause,
+                    attrs: vec![
+                        ("reclaimed_bytes", stats.reclaimed_bytes.into()),
+                        ("live_bytes", stats.live_bytes.into()),
+                    ],
+                });
+            }
             clock += pause;
             pause_total += pause;
             gc.absorb(&stats);
@@ -296,7 +374,7 @@ pub fn run_mapper(
     }
     for dst in 0..reducers {
         let mut q = std::mem::take(&mut pending[dst]);
-        flush(dst, &mut q, &mut heap, &mut engine, &mut blocks, &mut clock, pause_total);
+        flush(dst, &mut q, &mut heap, &mut engine, &mut blocks, &mut clock, pause_total, &mut *sink);
         pending[dst] = q;
     }
     drop(flush);
@@ -310,14 +388,40 @@ pub fn run_mapper(
         Some(mut store) => {
             let mut none = NoLineage;
             for (i, msg) in messages.iter_mut().enumerate() {
+                let before = clock;
                 let access = store.get(i, clock, &mut none)?;
                 clock = access.done_ns;
+                if S::ENABLED && clock > before {
+                    sink.span(Span {
+                        entity: main,
+                        name: "serve.fetch",
+                        t0_ns: before,
+                        t1_ns: clock,
+                        attrs: vec![("batch", (i as u64).into())],
+                    });
+                }
                 msg.bytes = store.bytes(i).expect("fetch policy retains every block").to_vec();
                 msg.ser_done_ns = clock;
             }
             let s = store.stats();
             faults.spill_retries += s.read_retries;
             faults.recovery_ns += s.retry_ns;
+            if S::ENABLED {
+                let lane = EntityId { pid, tid: T_DISK };
+                for w in store.take_disk_tape() {
+                    sink.span(Span {
+                        entity: lane,
+                        name: if w.write { "disk.write" } else { "disk.read" },
+                        t0_ns: w.start_ns,
+                        t1_ns: w.end_ns,
+                        attrs: vec![("bytes", w.bytes.into())],
+                    });
+                }
+                sink.count("shuffle.spills", s.spills);
+                sink.count("shuffle.spilled_bytes", s.spilled_bytes);
+                sink.count("shuffle.spill_fetches", s.disk_fetches);
+                sink.count("shuffle.spill_retries", s.read_retries);
+            }
             Some(SpillTotals {
                 spills: s.spills,
                 spilled_bytes: s.spilled_bytes,

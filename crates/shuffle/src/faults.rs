@@ -241,10 +241,7 @@ impl FaultTotals {
     /// Useful wire bytes over total fabric bytes (1.0 when nothing was
     /// retransmitted; 0 when nothing was carried).
     pub fn goodput(&self, wire_bytes: u64) -> f64 {
-        if self.fabric_bytes == 0 {
-            return 0.0;
-        }
-        wire_bytes as f64 / self.fabric_bytes as f64
+        telemetry::ratio(wire_bytes as f64, self.fabric_bytes as f64)
     }
 }
 

@@ -57,12 +57,13 @@ pub mod report;
 pub mod service;
 pub mod timeline;
 
-pub use exec::{GcTotals, MapOutcome, Message, SpillTotals};
+pub use exec::{run_mapper, run_mapper_sunk, GcTotals, MapOutcome, Message, SpillTotals};
 pub use faults::{Attempt, FaultSpec, FaultTotals, MsgPlan, ShuffleError};
-pub use store::Backend;
+pub use reduce::{run_reducer, run_reducer_sunk, ReduceOutcome};
 pub use report::{BackendReport, ShuffleReport};
-pub use service::{run_backend, run_suite, BackendRun};
-pub use timeline::NetStats;
+pub use service::{run_backend, run_backend_sunk, run_suite, BackendRun};
+pub use store::Backend;
+pub use timeline::{compose, compose_sunk, NetStats};
 
 use sim::LinkConfig;
 use workloads::{AggConfig, KeySkew};

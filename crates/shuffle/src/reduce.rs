@@ -5,6 +5,8 @@ use crate::faults::{Attempt, MsgPlan, ShuffleError};
 use sdheap::{Addr, KlassRegistry};
 use std::collections::BTreeMap;
 use store::{Backend, Engine, EngineError};
+use telemetry::ids::{REDUCER_PID_BASE, T_MAIN, T_NIC};
+use telemetry::{NoopSink, Sink};
 
 /// Everything one reduce executor produced.
 #[derive(Debug)]
@@ -51,6 +53,36 @@ pub fn run_reducer(
     plans: &[&MsgPlan],
     checksum: bool,
 ) -> Result<ReduceOutcome, ShuffleError> {
+    run_reducer_sunk(backend, reg, capacity, msgs, plans, checksum, 0, &mut NoopSink)
+}
+
+/// [`run_reducer`] with a telemetry sink. `r` is the reducer index (for
+/// the process id). The reducer books decode-site counters
+/// (`shuffle.records`, `shuffle.checksum_errors`) and the
+/// `shuffle.de_busy_ns` histogram; its timeline *spans* are emitted by
+/// the composition stage, which is where arrival and completion times
+/// exist. The returned outcome is identical to the untraced path for
+/// any sink.
+///
+/// # Errors
+/// Same as [`run_reducer`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_reducer_sunk<S: Sink>(
+    backend: Backend,
+    reg: &KlassRegistry,
+    capacity: u64,
+    msgs: &[&Message],
+    plans: &[&MsgPlan],
+    checksum: bool,
+    r: usize,
+    sink: &mut S,
+) -> Result<ReduceOutcome, ShuffleError> {
+    if S::ENABLED {
+        let pid = REDUCER_PID_BASE + r as u32;
+        sink.name_process(pid, &format!("reducer {r}"));
+        sink.name_thread(pid, T_MAIN, "reduce");
+        sink.name_thread(pid, T_NIC, "nic");
+    }
     // One engine per wire format seen; the run's backend first.
     let mut engines: Vec<(Backend, Engine)> = vec![(backend, Engine::new(backend, reg))];
     let mut out = ReduceOutcome {
@@ -77,7 +109,12 @@ pub fn run_reducer(
                     let mut bad = msg.bytes.clone();
                     bad[*pos] ^= *mask;
                     match engine.try_deserialize(&bad, reg, capacity, true) {
-                        Err(EngineError::Checksum(_)) => out.checksum_errors += 1,
+                        Err(EngineError::Checksum(_)) => {
+                            out.checksum_errors += 1;
+                            if S::ENABLED {
+                                sink.count("shuffle.checksum_errors", 1);
+                            }
+                        }
                         _ => {
                             return Err(ShuffleError::UndetectedCorruption {
                                 src: msg.src,
@@ -89,10 +126,14 @@ pub fn run_reducer(
                 }
             }
         }
-        let (heap, root, ns) = engine.try_deserialize(&msg.bytes, reg, capacity, checksum)?;
+        let (heap, root, ns) = engine.try_deserialize_sunk(&msg.bytes, reg, capacity, checksum, sink)?;
         let n = heap.array_len(root);
         if n as u64 != msg.records {
             return Err(ShuffleError::BadBatch { src: msg.src, dst: msg.dst, seq: msg.seq });
+        }
+        if S::ENABLED {
+            sink.count("shuffle.records", n as u64);
+            sink.observe("shuffle.de_busy_ns", ns);
         }
         for j in 0..n {
             let rec = Addr(heap.array_elem(root, j));

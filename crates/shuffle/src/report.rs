@@ -2,12 +2,14 @@
 //!
 //! Every field is derived from simulated clocks and deterministic
 //! counters — nothing wall-clock, nothing machine-dependent — so the
-//! rendered JSON is byte-identical across runs and job counts.
+//! rendered JSON is byte-identical across runs and job counts. All
+//! rendering goes through the workspace's one [`JsonWriter`].
 
 use crate::exec::{GcTotals, SpillTotals};
 use crate::faults::FaultTotals;
 use crate::timeline::NetStats;
 use crate::ShuffleConfig;
+use telemetry::{per_sec, JsonWriter};
 
 /// One backend's end-to-end shuffle measurements.
 #[derive(Clone, Debug)]
@@ -44,75 +46,70 @@ pub struct BackendReport {
 impl BackendReport {
     /// Records per second of end-to-end simulated time.
     pub fn records_per_sec(&self) -> f64 {
-        if self.net.makespan_ns <= 0.0 {
-            return 0.0;
-        }
-        self.records as f64 / (self.net.makespan_ns * 1e-9)
+        per_sec(self.records, self.net.makespan_ns)
     }
 
-    fn to_json(&self) -> String {
-        let gc = match &self.gc {
-            None => "null".to_string(),
-            Some(g) => format!(
-                "{{\"collections\": {}, \"pause_ns\": {:.3}, \"reclaimed_bytes\": {}, \"live_bytes\": {}}}",
-                g.collections, g.pause_ns, g.reclaimed_bytes, g.live_bytes
-            ),
-        };
-        let spill = match &self.spill {
-            None => "null".to_string(),
-            Some(s) => format!(
-                "{{\"spills\": {}, \"spilled_bytes\": {}, \"spill_ns\": {:.3}, \"fetches\": {}, \"fetch_ns\": {:.3}}}",
-                s.spills, s.spilled_bytes, s.spill_ns, s.fetches, s.fetch_ns
-            ),
-        };
-        // Rendered only for fault-injected runs: fault-free JSON is
-        // byte-identical to the pre-fault service.
-        let faults = match &self.faults {
-            None => String::new(),
-            Some(f) => format!(
-                ",\n\x20     \"faults\": {{\"retries\": {}, \"lost_messages\": {}, \"wire_corruptions\": {},\n\
-                 \x20       \"checksum_errors\": {}, \"mapper_deaths\": {}, \"reexec_ns\": {:.3},\n\
-                 \x20       \"accel_faults\": {}, \"fallback_ns\": {:.3}, \"spill_retries\": {},\n\
-                 \x20       \"recovery_ns\": {:.3}, \"fabric_bytes\": {}, \"goodput\": {:.6}}}",
-                f.retries,
-                f.lost_messages,
-                f.wire_corruptions,
-                f.checksum_errors,
-                f.mapper_deaths,
-                f.reexec_ns,
-                f.accel_faults,
-                f.fallback_ns,
-                f.spill_retries,
-                f.recovery_ns,
-                f.fabric_bytes,
-                f.goodput(self.wire_bytes),
-            ),
-        };
-        format!(
-            "    {{\"name\": \"{}\", \"messages\": {}, \"wire_bytes\": {}, \"records\": {},\n\
-             \x20     \"ser_busy_ns\": {:.3}, \"map_makespan_ns\": {:.3}, \"de_busy_ns\": {:.3},\n\
-             \x20     \"net_ns\": {:.3}, \"makespan_ns\": {:.3}, \"records_per_sec\": {:.1},\n\
-             \x20     \"backpressure_blocks\": {}, \"backpressure_wait_ns\": {:.3},\n\
-             \x20     \"ingress_utilization\": {:.4}, \"gc\": {}, \"spill\": {}{},\n\
-             \x20     \"fold_checksum\": \"{:016x}\"}}",
-            self.name,
-            self.messages,
-            self.wire_bytes,
-            self.records,
-            self.ser_busy_ns,
-            self.map_makespan_ns,
-            self.de_busy_ns,
-            self.net.net_ns,
-            self.net.makespan_ns,
-            self.records_per_sec(),
-            self.net.backpressure_blocks,
-            self.net.backpressure_wait_ns,
-            self.net.ingress_utilization,
-            gc,
-            spill,
-            faults,
-            self.fold_checksum,
-        )
+    fn render(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.field_str("name", self.name);
+        w.field_u64("messages", self.messages);
+        w.field_u64("wire_bytes", self.wire_bytes);
+        w.field_u64("records", self.records);
+        w.field_f64("ser_busy_ns", self.ser_busy_ns, 3);
+        w.field_f64("map_makespan_ns", self.map_makespan_ns, 3);
+        w.field_f64("de_busy_ns", self.de_busy_ns, 3);
+        w.field_f64("net_ns", self.net.net_ns, 3);
+        w.field_f64("makespan_ns", self.net.makespan_ns, 3);
+        w.field_f64("records_per_sec", self.records_per_sec(), 1);
+        w.field_u64("backpressure_blocks", self.net.backpressure_blocks);
+        w.field_f64("backpressure_wait_ns", self.net.backpressure_wait_ns, 3);
+        w.field_f64("ingress_utilization", self.net.ingress_utilization, 4);
+        w.key("gc");
+        match &self.gc {
+            None => w.null_val(),
+            Some(g) => {
+                w.begin_obj();
+                w.field_u64("collections", g.collections);
+                w.field_f64("pause_ns", g.pause_ns, 3);
+                w.field_u64("reclaimed_bytes", g.reclaimed_bytes);
+                w.field_u64("live_bytes", g.live_bytes);
+                w.end_obj();
+            }
+        }
+        w.key("spill");
+        match &self.spill {
+            None => w.null_val(),
+            Some(s) => {
+                w.begin_obj();
+                w.field_u64("spills", s.spills);
+                w.field_u64("spilled_bytes", s.spilled_bytes);
+                w.field_f64("spill_ns", s.spill_ns, 3);
+                w.field_u64("fetches", s.fetches);
+                w.field_f64("fetch_ns", s.fetch_ns, 3);
+                w.end_obj();
+            }
+        }
+        // Rendered only for fault-injected runs: fault-free JSON stays
+        // free of the fault block.
+        if let Some(f) = &self.faults {
+            w.key("faults");
+            w.begin_obj();
+            w.field_u64("retries", f.retries);
+            w.field_u64("lost_messages", f.lost_messages);
+            w.field_u64("wire_corruptions", f.wire_corruptions);
+            w.field_u64("checksum_errors", f.checksum_errors);
+            w.field_u64("mapper_deaths", f.mapper_deaths);
+            w.field_f64("reexec_ns", f.reexec_ns, 3);
+            w.field_u64("accel_faults", f.accel_faults);
+            w.field_f64("fallback_ns", f.fallback_ns, 3);
+            w.field_u64("spill_retries", f.spill_retries);
+            w.field_f64("recovery_ns", f.recovery_ns, 3);
+            w.field_u64("fabric_bytes", f.fabric_bytes);
+            w.field_f64("goodput", f.goodput(self.wire_bytes), 6);
+            w.end_obj();
+        }
+        w.field_str("fold_checksum", &format!("{:016x}", self.fold_checksum));
+        w.end_obj();
     }
 }
 
@@ -130,57 +127,60 @@ impl ShuffleReport {
     /// clock deliberately excluded).
     pub fn to_json(&self) -> String {
         let c = &self.config;
-        let rows: Vec<String> = self.backends.iter().map(BackendReport::to_json).collect();
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("generated_by", "shuffle service");
+        w.key("config");
+        w.begin_obj();
+        w.field_u64("mappers", c.mappers as u64);
+        w.field_u64("reducers", c.reducers as u64);
+        w.field_u64("records_per_mapper", c.records_per_mapper as u64);
+        w.field_u64("distinct_keys", c.distinct_keys);
+        w.field_u64("seed", c.seed);
+        w.field_str("skew", &c.skew.label());
+        w.field_u64("flush_bytes", c.flush_bytes);
+        w.field_u64("watermark_bytes", c.watermark_bytes);
+        w.field_u64("spill_bytes", c.spill_bytes);
+        w.field_str("link", c.link_name);
+        w.field_bool("gc_pressure", c.gc_pressure);
+        w.field_u64("gc_waves", c.gc_waves as u64);
         // Appended only when checksums or fault injection are on, so the
-        // fault-free config block is byte-identical to the old harness.
-        let fault_cfg = if !c.checksum && c.faults.is_none() {
-            String::new()
-        } else {
-            let mut s = format!(",\n\x20   \"checksum\": {}", c.checksum);
+        // fault-free config block stays free of the fault fields.
+        if c.checksum || c.faults.is_some() {
+            w.field_bool("checksum", c.checksum);
             if let Some(spec) = &c.faults {
                 let f = &spec.cfg;
-                s.push_str(&format!(
-                    ", \"fault_seed\": {}, \"fallback\": \"{}\",\n\
-                     \x20   \"rates\": {{\"wire_corruption\": {}, \"link_loss\": {}, \"disk_read_error\": {},\n\
-                     \x20     \"mapper_death\": {}, \"accel_fault\": {}, \"spill_corruption\": {}}}",
-                    f.seed,
-                    spec.fallback.name(),
-                    f.wire_corruption,
-                    f.link_loss,
-                    f.disk_read_error,
-                    f.mapper_death,
-                    f.accel_fault,
-                    f.spill_corruption,
-                ));
+                w.field_u64("fault_seed", f.seed);
+                w.field_str("fallback", spec.fallback.name());
+                w.key("rates");
+                w.begin_obj();
+                for (name, rate) in [
+                    ("wire_corruption", f.wire_corruption),
+                    ("link_loss", f.link_loss),
+                    ("disk_read_error", f.disk_read_error),
+                    ("mapper_death", f.mapper_death),
+                    ("accel_fault", f.accel_fault),
+                    ("spill_corruption", f.spill_corruption),
+                ] {
+                    w.key(name);
+                    // `Display` keeps the configured probability exact
+                    // (0.02, not 0.020000).
+                    w.raw_val(&format!("{rate}"));
+                }
+                w.end_obj();
             }
-            s
-        };
-        format!(
-            "{{\n\
-             \x20 \"generated_by\": \"shuffle service\",\n\
-             \x20 \"config\": {{\n\
-             \x20   \"mappers\": {}, \"reducers\": {}, \"records_per_mapper\": {},\n\
-             \x20   \"distinct_keys\": {}, \"seed\": {}, \"skew\": \"{}\", \"flush_bytes\": {},\n\
-             \x20   \"watermark_bytes\": {}, \"spill_bytes\": {}, \"link\": \"{}\",\n\
-             \x20   \"gc_pressure\": {}, \"gc_waves\": {}{}\n\
-             \x20 }},\n\
-             \x20 \"backends\": [\n{}\n\x20 ]\n\
-             }}\n",
-            c.mappers,
-            c.reducers,
-            c.records_per_mapper,
-            c.distinct_keys,
-            c.seed,
-            c.skew.label(),
-            c.flush_bytes,
-            c.watermark_bytes,
-            c.spill_bytes,
-            c.link_name,
-            c.gc_pressure,
-            c.gc_waves,
-            fault_cfg,
-            rows.join(",\n")
-        )
+        }
+        w.end_obj();
+        w.key("backends");
+        w.begin_arr();
+        for b in &self.backends {
+            b.render(&mut w);
+        }
+        w.end_arr();
+        w.end_obj();
+        let mut out = w.finish();
+        out.push('\n');
+        out
     }
 }
 

@@ -1,14 +1,16 @@
 //! The shuffle service top level: fan the executors out over threads,
 //! stitch their simulated clocks into one deterministic report.
 
-use crate::exec::{run_mapper, GcTotals, MapOutcome, Message, SpillTotals};
+use crate::exec::{run_mapper_sunk, GcTotals, MapOutcome, Message, SpillTotals};
 use crate::faults::{death_scope, plan_message, FaultTotals, MsgPlan, ShuffleError};
-use crate::reduce::{run_reducer, ReduceOutcome};
+use crate::reduce::{run_reducer_sunk, ReduceOutcome};
 use crate::report::{fold_checksum, BackendReport, ShuffleReport};
-use crate::timeline::compose;
+use crate::timeline::compose_sunk;
 use crate::ShuffleConfig;
 use std::collections::BTreeMap;
 use store::{par_map, Backend};
+use telemetry::ids::{MAPPER_PID_BASE, T_MAIN};
+use telemetry::{EntityId, Instant, NoopSink, Sink};
 
 /// One backend's full run: the report plus the merged aggregate (kept
 /// out of the report; tests check it against the dataset's expected
@@ -31,6 +33,26 @@ pub struct BackendRun {
 /// (undetected corruption, decode failures, spill-store faults,
 /// duplicate keys).
 pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, ShuffleError> {
+    run_backend_sunk(cfg, backend, &mut NoopSink)
+}
+
+/// [`run_backend`] with a telemetry sink. Each executor traces into its
+/// own `S::default()` child sink on its worker thread; the children are
+/// absorbed into `sink` in executor order, so the merged telemetry is
+/// byte-identical for any `jobs` count — exactly the report's
+/// determinism argument, applied to the trace. A mapper death shifts
+/// its child's whole timeline by the lost work plus the detection
+/// timeout (the rerun's timeline) and leaves a `mapper.death` instant
+/// at the moment the first execution died. The returned run is
+/// identical to the untraced path for any sink.
+///
+/// # Errors
+/// Same as [`run_backend`].
+pub fn run_backend_sunk<S: Sink>(
+    cfg: &ShuffleConfig,
+    backend: Backend,
+    sink: &mut S,
+) -> Result<BackendRun, ShuffleError> {
     if !cfg.checksum && cfg.faults.is_some_and(|s| s.cfg.wire_corruption > 0.0) {
         return Err(ShuffleError::ChecksumRequired);
     }
@@ -41,13 +63,15 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, 
     // rerun reproduces the identical messages (the executor is
     // deterministic), shifted by the work lost at death plus the
     // scheduler's detection timeout.
-    let maps: Vec<Result<MapOutcome, ShuffleError>> =
+    let maps: Vec<Result<(MapOutcome, S), ShuffleError>> =
         par_map(cfg.jobs, cfg.mappers, |m| {
-            let mut outcome = run_mapper(cfg, backend, m)?;
+            let mut child = S::default();
+            let mut outcome = run_mapper_sunk(cfg, backend, m, &mut child)?;
             if let Some(spec) = cfg.faults {
                 let mut inj = spec.cfg.scoped(death_scope(m));
                 if let Some(frac) = inj.mapper_dies() {
-                    let death_ns = frac * outcome.clock_ns + spec.cfg.timeout_ns;
+                    let died_at = frac * outcome.clock_ns;
+                    let death_ns = died_at + spec.cfg.timeout_ns;
                     for msg in &mut outcome.messages {
                         msg.ser_done_ns += death_ns;
                     }
@@ -55,11 +79,29 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, 
                     outcome.faults.mapper_deaths += 1;
                     outcome.faults.reexec_ns += death_ns;
                     outcome.faults.recovery_ns += death_ns;
+                    if S::ENABLED {
+                        // The child's events now describe the rerun;
+                        // mark when the first execution was lost.
+                        child.shift(death_ns);
+                        child.count("shuffle.mapper_deaths", 1);
+                        child.instant(Instant {
+                            entity: EntityId { pid: MAPPER_PID_BASE + m as u32, tid: T_MAIN },
+                            name: "mapper.death",
+                            t_ns: died_at,
+                            attrs: vec![("timeout_ns", spec.cfg.timeout_ns.into())],
+                        });
+                    }
                 }
             }
-            Ok(outcome)
+            Ok((outcome, child))
         });
-    let maps: Vec<MapOutcome> = maps.into_iter().collect::<Result<_, _>>()?;
+    let mut absorbed = Vec::with_capacity(cfg.mappers);
+    for r in maps {
+        let (outcome, child) = r?;
+        sink.absorb(child);
+        absorbed.push(outcome);
+    }
+    let maps: Vec<MapOutcome> = absorbed;
 
     // Global message list in (mapper, flush) order; per reducer this is
     // ascending (src, seq) — the deterministic delivery order.
@@ -85,7 +127,7 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, 
     let agg = cfg.agg();
     let reg = agg.registry();
     let capacity = agg.heap_capacity();
-    let reduces: Vec<Result<ReduceOutcome, ShuffleError>> =
+    let reduces: Vec<Result<(ReduceOutcome, S), ShuffleError>> =
         par_map(cfg.jobs, cfg.reducers, |r| {
             let msgs: Vec<&Message> = per_reducer[r].iter().map(|&i| all[i]).collect();
             let rplans: Vec<&MsgPlan> = if plans.is_empty() {
@@ -93,9 +135,18 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, 
             } else {
                 per_reducer[r].iter().map(|&i| &plans[i]).collect()
             };
-            run_reducer(backend, &reg, capacity, &msgs, &rplans, cfg.checksum)
+            let mut child = S::default();
+            let outcome =
+                run_reducer_sunk(backend, &reg, capacity, &msgs, &rplans, cfg.checksum, r, &mut child)?;
+            Ok((outcome, child))
         });
-    let reduces: Vec<ReduceOutcome> = reduces.into_iter().collect::<Result<_, _>>()?;
+    let mut absorbed = Vec::with_capacity(cfg.reducers);
+    for r in reduces {
+        let (outcome, child) = r?;
+        sink.absorb(child);
+        absorbed.push(outcome);
+    }
+    let reduces: Vec<ReduceOutcome> = absorbed;
 
     // Stitch per-message deserialization times back to the global list.
     let mut de_ns = vec![0.0f64; all.len()];
@@ -107,7 +158,7 @@ pub fn run_backend(cfg: &ShuffleConfig, backend: Backend) -> Result<BackendRun, 
 
     // Timeline composition: sequential and order-deterministic.
     let mut fault_totals = FaultTotals::default();
-    let net = compose(cfg, &all, &de_ns, &plans, &mut fault_totals);
+    let net = compose_sunk(cfg, &all, &de_ns, &plans, &mut fault_totals, sink);
 
     // Merge the folds; key spaces are disjoint (key % reducers routing).
     let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();

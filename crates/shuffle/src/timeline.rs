@@ -13,6 +13,8 @@ use crate::ShuffleConfig;
 use sim::net::Fabric;
 use std::collections::VecDeque;
 use store::Engine;
+use telemetry::ids::{MAPPER_PID_BASE, REDUCER_PID_BASE, T_MAIN, T_NIC, T_SEND};
+use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
 
 /// Network-and-makespan statistics of one shuffle.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -63,6 +65,27 @@ pub fn compose(
     plans: &[MsgPlan],
     faults: &mut FaultTotals,
 ) -> NetStats {
+    compose_sunk(cfg, msgs, de_ns, plans, faults, &mut NoopSink)
+}
+
+/// [`compose`] with a telemetry sink: the composed timeline is emitted
+/// as spans — `backpressure.wait`, `wire.lost`/`wire.corrupt` attempt
+/// windows (backoff included) and the final `wire` transit on each
+/// sender's send lane, `nack` instants on the receiver's NIC lane,
+/// `deserialize` spans on each reducer's main lane, and the fabric's
+/// per-hop busy windows as `nic.egress`/`nic.ingress` spans. Net and
+/// fault counters (`shuffle.backpressure_blocks`, `shuffle.retries`,
+/// `shuffle.lost_messages`, `shuffle.wire_corruptions`,
+/// `shuffle.fabric_bytes`) are booked at the event sites. The returned
+/// stats are identical to the untraced path for any sink.
+pub fn compose_sunk<S: Sink>(
+    cfg: &ShuffleConfig,
+    msgs: &[&Message],
+    de_ns: &[f64],
+    plans: &[MsgPlan],
+    faults: &mut FaultTotals,
+    sink: &mut S,
+) -> NetStats {
     assert_eq!(msgs.len(), de_ns.len());
     let mut order: Vec<usize> = (0..msgs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -76,6 +99,9 @@ pub fn compose(
     });
 
     let mut fabric = Fabric::full_mesh(cfg.mappers, cfg.reducers, cfg.link);
+    if S::ENABLED {
+        fabric.record_tape();
+    }
     let mut mapper_free = vec![0.0f64; cfg.mappers];
     let mut reducer_free = vec![0.0f64; cfg.reducers];
     // Per reducer: (de_done, bytes) of batches sent but not yet
@@ -88,6 +114,7 @@ pub fn compose(
     for i in order {
         let msg = msgs[i];
         let (src, dst) = (msg.src, msg.dst);
+        let send_lane = EntityId { pid: MAPPER_PID_BASE + src as u32, tid: T_SEND };
         let wire = (msg.bytes.len() as u64).max(1);
         let mut start = msg.ser_done_ns.max(mapper_free[src]);
 
@@ -102,12 +129,25 @@ pub fn compose(
         }
         // Block on the watermark: wait for the earliest in-flight batch
         // to clear, repeatedly, until the window has room.
+        let block_start = start;
         while inflight_bytes[dst] + wire > cfg.watermark_bytes && !inflight[dst].is_empty() {
             let (done, b) = inflight[dst].pop_front().expect("non-empty");
             inflight_bytes[dst] -= b;
             stats.backpressure_blocks += 1;
             stats.backpressure_wait_ns += done - start;
+            if S::ENABLED {
+                sink.count("shuffle.backpressure_blocks", 1);
+            }
             start = done;
+        }
+        if S::ENABLED && start > block_start {
+            sink.span(Span {
+                entity: send_lane,
+                name: "backpressure.wait",
+                t0_ns: block_start,
+                t1_ns: start,
+                attrs: vec![("dst", (dst as u64).into())],
+            });
         }
 
         mapper_free[src] = start;
@@ -125,6 +165,9 @@ pub fn compose(
                             let lost_arrival = fabric.send(src, dst, wire, attempt_start);
                             stats.net_ns += lost_arrival - attempt_start;
                             faults.lost_messages += 1;
+                            if S::ENABLED {
+                                sink.count("shuffle.lost_messages", 1);
+                            }
                             // The sender times out from the attempt's
                             // start; the fabric stays busy either way.
                             (attempt_start + fc.timeout_ns).max(lost_arrival) + backoff
@@ -133,6 +176,20 @@ pub fn compose(
                             let arrival = fabric.send(src, dst, wire, attempt_start);
                             stats.net_ns += arrival - attempt_start;
                             faults.wire_corruptions += 1;
+                            if S::ENABLED {
+                                sink.count("shuffle.wire_corruptions", 1);
+                                // The receiver detects the damage at the
+                                // end of its CRC scan and NACKs.
+                                sink.instant(Instant {
+                                    entity: EntityId {
+                                        pid: REDUCER_PID_BASE + dst as u32,
+                                        tid: T_NIC,
+                                    },
+                                    name: "nack",
+                                    t_ns: arrival + Engine::verify_ns(wire as usize),
+                                    attrs: vec![("src", (src as u64).into())],
+                                });
+                            }
                             // Receiver pays the CRC scan to detect, the
                             // NACK crosses one link latency back.
                             arrival + Engine::verify_ns(wire as usize) + cfg.link.latency_ns + backoff
@@ -141,6 +198,24 @@ pub fn compose(
                     faults.retries += 1;
                     faults.fabric_bytes += wire;
                     faults.recovery_ns += resume - attempt_start;
+                    if S::ENABLED {
+                        sink.count("shuffle.retries", 1);
+                        sink.count("shuffle.fabric_bytes", wire);
+                        sink.span(Span {
+                            entity: send_lane,
+                            name: match a {
+                                Attempt::Lost => "wire.lost",
+                                _ => "wire.corrupt",
+                            },
+                            t0_ns: attempt_start,
+                            t1_ns: resume,
+                            attrs: vec![
+                                ("dst", (dst as u64).into()),
+                                ("bytes", wire.into()),
+                                ("backoff_ns", backoff.into()),
+                            ],
+                        });
+                    }
                     attempt_start = resume;
                 }
             }
@@ -151,9 +226,53 @@ pub fn compose(
         let de_start = arrival.max(reducer_free[dst]);
         let de_done = de_start + de_ns[i];
         reducer_free[dst] = de_done;
+        if S::ENABLED {
+            sink.count("shuffle.fabric_bytes", wire);
+            sink.span(Span {
+                entity: send_lane,
+                name: "wire",
+                t0_ns: attempt_start,
+                t1_ns: arrival,
+                attrs: vec![("dst", (dst as u64).into()), ("bytes", wire.into())],
+            });
+            sink.span(Span {
+                entity: EntityId { pid: REDUCER_PID_BASE + dst as u32, tid: T_MAIN },
+                name: "deserialize",
+                t0_ns: de_start,
+                t1_ns: de_done,
+                attrs: vec![
+                    ("src", (src as u64).into()),
+                    ("seq", msg.seq.into()),
+                    ("bytes", wire.into()),
+                ],
+            });
+        }
         inflight[dst].push_back((de_done, wire));
         inflight_bytes[dst] += wire;
         stats.makespan_ns = stats.makespan_ns.max(de_done);
+    }
+    if S::ENABLED {
+        // The fabric's per-hop busy windows become the NIC lanes.
+        for w in fabric.take_tape() {
+            if w.egress_done_ns > w.start_ns {
+                sink.span(Span {
+                    entity: EntityId { pid: MAPPER_PID_BASE + w.src as u32, tid: T_NIC },
+                    name: "nic.egress",
+                    t0_ns: w.start_ns,
+                    t1_ns: w.egress_done_ns,
+                    attrs: vec![("dst", (w.dst as u64).into()), ("bytes", w.bytes.into())],
+                });
+            }
+            if w.arrival_ns > w.wire_done_ns {
+                sink.span(Span {
+                    entity: EntityId { pid: REDUCER_PID_BASE + w.dst as u32, tid: T_NIC },
+                    name: "nic.ingress",
+                    t0_ns: w.wire_done_ns,
+                    t1_ns: w.arrival_ns,
+                    attrs: vec![("src", (w.src as u64).into()), ("bytes", w.bytes.into())],
+                });
+            }
+        }
     }
     stats.ingress_utilization = fabric.ingress_utilization(stats.makespan_ns);
     stats

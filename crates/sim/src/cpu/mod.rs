@@ -27,6 +27,36 @@ use serializers::{Op, TraceSink};
 
 pub use costs::OpCosts;
 
+/// Operation classes the optional telemetry accounting attributes time
+/// to. Order matches [`Cpu::op_classes`] output.
+pub const OP_CLASS_NAMES: [&str; 10] = [
+    "load.dep",
+    "load.indep",
+    "store",
+    "alu",
+    "branch",
+    "call",
+    "reflect_call",
+    "str_compare",
+    "hash_lookup",
+    "alloc",
+];
+
+fn op_class(op: &Op) -> usize {
+    match op {
+        Op::Load { dependent: true, .. } => 0,
+        Op::Load { dependent: false, .. } => 1,
+        Op::Store { .. } => 2,
+        Op::Alu(_) => 3,
+        Op::Branch => 4,
+        Op::Call => 5,
+        Op::ReflectCall => 6,
+        Op::StrCompare(_) => 7,
+        Op::HashLookup => 8,
+        Op::Alloc(_) => 9,
+    }
+}
+
 /// CPU model configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct CpuConfig {
@@ -112,6 +142,11 @@ pub struct Cpu {
     lcg: u64,
     writebacks_charged: u64,
     wb_spread: u64,
+    /// Attribute issue-clock time and uops per op class. Off by default:
+    /// the hot path pays only this branch.
+    track_classes: bool,
+    class_cycles: [f64; OP_CLASS_NAMES.len()],
+    class_uops: [u64; OP_CLASS_NAMES.len()],
 }
 
 impl Cpu {
@@ -130,6 +165,9 @@ impl Cpu {
             lcg: 0x243f_6a88_85a3_08d3,
             writebacks_charged: 0,
             wb_spread: 0,
+            track_classes: false,
+            class_cycles: [0.0; OP_CLASS_NAMES.len()],
+            class_uops: [0; OP_CLASS_NAMES.len()],
         }
     }
 
@@ -257,11 +295,7 @@ impl Cpu {
             cycles,
             ns,
             uops: self.uops,
-            ipc: if cycles > 0.0 {
-                self.uops as f64 / cycles
-            } else {
-                0.0
-            },
+            ipc: telemetry::ratio(self.uops as f64, cycles),
             llc_miss_rate: self.cache.llc_miss_rate(),
             dram_bytes: self.dram.total_bytes(),
             bandwidth_gbps: self.dram.bandwidth_gbps(ns),
@@ -279,11 +313,43 @@ impl Cpu {
         &self.dram
     }
 
+    /// Turns per-op-class time/uop attribution on or off. Off (the
+    /// default) the accounting costs one predictable branch per op, so
+    /// wall-clock measurements of the model itself are unaffected.
+    pub fn track_op_classes(&mut self, on: bool) {
+        self.track_classes = on;
+    }
+
+    /// Per-class `(name, ns, uops)` attribution for classes that
+    /// executed, in [`OP_CLASS_NAMES`] order. Empty unless
+    /// [`Cpu::track_op_classes`] was enabled. Attribution is issue-clock
+    /// time: overlapped miss latency lands on the op that stalled for it.
+    pub fn op_classes(&self) -> Vec<(&'static str, f64, u64)> {
+        OP_CLASS_NAMES
+            .iter()
+            .zip(self.class_cycles.iter().zip(&self.class_uops))
+            .filter(|(_, (&c, &u))| c > 0.0 || u > 0)
+            .map(|(&name, (&c, &u))| (name, self.ns_of(c), u))
+            .collect()
+    }
+
     /// Executes one traced operation. This is the single implementation
     /// behind both [`TraceSink::op`] and the batched [`TraceSink::ops`]
     /// slice path, so the two are bit-identical by construction
     /// (golden-tested in `tests/prop_timing.rs`).
     pub fn exec(&mut self, op: Op) {
+        if self.track_classes {
+            let class = op_class(&op);
+            let (cycle0, uops0) = (self.cycle, self.uops);
+            self.exec_inner(op);
+            self.class_cycles[class] += self.cycle - cycle0;
+            self.class_uops[class] += self.uops - uops0;
+        } else {
+            self.exec_inner(op);
+        }
+    }
+
+    fn exec_inner(&mut self, op: Op) {
         let costs = self.cfg.costs;
         match op {
             Op::Load {
@@ -488,6 +554,30 @@ mod tests {
         let r = cpu.report();
         // 1 uop/4-wide = 0.25 cyc + 0.03×14 = 0.42 cyc ⇒ IPC ≈ 1.5.
         assert!(r.ipc < 2.0 && r.ipc > 1.0, "got {}", r.ipc);
+    }
+
+    #[test]
+    fn op_class_attribution_sums_to_totals() {
+        let mut cpu = Cpu::host();
+        cpu.track_op_classes(true);
+        cpu.op(Op::Alu(100));
+        cpu.op(Op::Load {
+            addr: 0x1000_0000,
+            bytes: 8,
+            dependent: true,
+        });
+        cpu.op(Op::Branch);
+        let classes = cpu.op_classes();
+        assert!(classes.iter().any(|c| c.0 == "load.dep"));
+        assert!(classes.iter().any(|c| c.0 == "alu"));
+        let uops: u64 = classes.iter().map(|c| c.2).sum();
+        assert_eq!(uops, cpu.report().uops);
+        let ns: f64 = classes.iter().map(|c| c.1).sum();
+        assert!((ns - cpu.ns_of(cpu.cycle)).abs() < 1e-9, "{ns}");
+        // Off by default: an untracked CPU reports nothing.
+        let mut plain = Cpu::host();
+        plain.op(Op::Alu(4));
+        assert!(plain.op_classes().is_empty());
     }
 
     #[test]

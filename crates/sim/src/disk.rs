@@ -71,6 +71,20 @@ impl DiskConfig {
 /// bloating the ledger.
 const BUCKET_NS: f64 = 1000.0;
 
+/// One serviced access on the device timeline — what the telemetry
+/// exporter renders as a disk busy window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskWindow {
+    /// Issue time (includes any seek in the window).
+    pub start_ns: f64,
+    /// Completion time.
+    pub end_ns: f64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Write (`true`) or read (`false`).
+    pub write: bool,
+}
+
 /// The disk model: one head/queue position, one bandwidth ledger.
 #[derive(Clone, Debug)]
 pub struct Disk {
@@ -83,6 +97,8 @@ pub struct Disk {
     reads: u64,
     writes: u64,
     seeks: u64,
+    /// Busy-window tape, recorded only when telemetry asks for it.
+    tape: Option<Vec<DiskWindow>>,
 }
 
 impl Disk {
@@ -97,7 +113,20 @@ impl Disk {
             reads: 0,
             writes: 0,
             seeks: 0,
+            tape: None,
         }
+    }
+
+    /// Starts recording one [`DiskWindow`] per access. Off by default —
+    /// the hot path pays one `Option` check.
+    pub fn record_tape(&mut self) {
+        self.tape.get_or_insert_with(Vec::new);
+    }
+
+    /// Drains the recorded busy windows (empty unless
+    /// [`Disk::record_tape`] was called).
+    pub fn take_tape(&mut self) -> Vec<DiskWindow> {
+        self.tape.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// The configuration.
@@ -105,7 +134,7 @@ impl Disk {
         self.cfg
     }
 
-    fn access(&mut self, offset: u64, bytes: u64, now_ns: f64) -> f64 {
+    fn access(&mut self, offset: u64, bytes: u64, now_ns: f64, is_write: bool) -> f64 {
         debug_assert!(bytes > 0);
         let latency = if offset == self.head {
             0.0
@@ -132,7 +161,16 @@ impl Disk {
             bucket += 1;
         }
         let service = bytes as f64 / self.cfg.bytes_per_ns;
-        finish.max(start + service)
+        let done = finish.max(start + service);
+        if let Some(tape) = &mut self.tape {
+            tape.push(DiskWindow {
+                start_ns: now_ns.max(0.0),
+                end_ns: done,
+                bytes,
+                write: is_write,
+            });
+        }
+        done
     }
 
     /// Reads `bytes` at `offset` starting at `now_ns`; returns the
@@ -140,7 +178,7 @@ impl Disk {
     pub fn read(&mut self, offset: u64, bytes: u64, now_ns: f64) -> f64 {
         self.reads += 1;
         self.read_bytes += bytes;
-        self.access(offset, bytes, now_ns)
+        self.access(offset, bytes, now_ns, false)
     }
 
     /// Writes `bytes` at `offset` starting at `now_ns`; returns the
@@ -148,7 +186,7 @@ impl Disk {
     pub fn write(&mut self, offset: u64, bytes: u64, now_ns: f64) -> f64 {
         self.writes += 1;
         self.write_bytes += bytes;
-        self.access(offset, bytes, now_ns)
+        self.access(offset, bytes, now_ns, true)
     }
 
     /// Bytes read so far.
@@ -178,10 +216,10 @@ impl Disk {
 
     /// Fraction of transfer bandwidth used over `elapsed_ns`.
     pub fn utilization(&self, elapsed_ns: f64) -> f64 {
-        if elapsed_ns <= 0.0 {
-            return 0.0;
-        }
-        ((self.read_bytes + self.write_bytes) as f64 / elapsed_ns) / self.cfg.bytes_per_ns
+        telemetry::ratio(
+            (self.read_bytes + self.write_bytes) as f64,
+            elapsed_ns * self.cfg.bytes_per_ns,
+        )
     }
 }
 
@@ -252,6 +290,22 @@ mod tests {
         assert_eq!(d.reads(), 1);
         assert_eq!(d.writes(), 1);
         assert_eq!(d.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn tape_records_only_when_enabled() {
+        let mut d = Disk::new(DiskConfig::ssd());
+        d.write(0, 64, 0.0);
+        assert!(d.take_tape().is_empty(), "tape off by default");
+        d.record_tape();
+        let done = d.write(64, 4096, 10.0);
+        let t = d.take_tape();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].bytes, 4096);
+        assert!(t[0].write);
+        assert_eq!(t[0].start_ns, 10.0);
+        assert_eq!(t[0].end_ns, done);
+        assert!(d.take_tape().is_empty(), "take drains");
     }
 
     #[test]

@@ -217,18 +217,15 @@ impl Dram {
     /// Fraction of aggregate peak bandwidth used over `elapsed_ns` — the
     /// meter behind Figs. 11 and 15.
     pub fn utilization(&self, elapsed_ns: f64) -> f64 {
-        if elapsed_ns <= 0.0 {
-            return 0.0;
-        }
-        (self.total_bytes as f64 / elapsed_ns) / self.cfg.peak_bytes_per_ns()
+        telemetry::ratio(
+            self.total_bytes as f64,
+            elapsed_ns * self.cfg.peak_bytes_per_ns(),
+        )
     }
 
     /// Achieved bandwidth in GB/s over `elapsed_ns`.
     pub fn bandwidth_gbps(&self, elapsed_ns: f64) -> f64 {
-        if elapsed_ns <= 0.0 {
-            return 0.0;
-        }
-        self.total_bytes as f64 / elapsed_ns
+        telemetry::ratio(self.total_bytes as f64, elapsed_ns)
     }
 
     /// Row-buffer hits observed (meaningful with

@@ -34,10 +34,10 @@ pub mod net;
 pub mod tlb;
 
 pub use cache::{Cache, Hierarchy, HitLevel, LevelConfig};
-pub use cpu::{Cpu, CpuConfig, CpuReport, OpCosts};
-pub use disk::{Disk, DiskConfig};
+pub use cpu::{Cpu, CpuConfig, CpuReport, OpCosts, OP_CLASS_NAMES};
+pub use disk::{Disk, DiskConfig, DiskWindow};
 pub use dram::{Dram, DramConfig};
 pub use fault::{FaultConfig, FaultInjector};
 pub use mai::{Mai, MaiConfig, MaiStats, ReorderBuffer};
-pub use net::{Link, LinkConfig};
+pub use net::{Link, LinkConfig, NetWindow};
 pub use tlb::{Tlb, TlbConfig};

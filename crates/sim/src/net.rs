@@ -116,11 +116,31 @@ impl Link {
 
     /// Fraction of link bandwidth used over `elapsed_ns`.
     pub fn utilization(&self, elapsed_ns: f64) -> f64 {
-        if elapsed_ns <= 0.0 {
-            return 0.0;
-        }
-        (self.total_bytes as f64 / elapsed_ns) / self.cfg.bytes_per_ns
+        telemetry::ratio(
+            self.total_bytes as f64,
+            elapsed_ns * self.cfg.bytes_per_ns,
+        )
     }
+}
+
+/// One message's three-hop transit on the fabric — what the telemetry
+/// exporter renders as NIC busy windows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetWindow {
+    /// Sending endpoint.
+    pub src: usize,
+    /// Receiving endpoint.
+    pub dst: usize,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// When the sender started transmitting.
+    pub start_ns: f64,
+    /// When the sender's egress NIC drained the message.
+    pub egress_done_ns: f64,
+    /// When the pair link delivered the last byte.
+    pub wire_done_ns: f64,
+    /// When the receiver's ingress NIC accepted the last byte.
+    pub arrival_ns: f64,
 }
 
 /// A full-mesh fabric of point-to-point links with per-endpoint fan-out
@@ -148,6 +168,8 @@ pub struct Fabric {
     pairs: Vec<Link>,
     egress: Vec<Link>,
     ingress: Vec<Link>,
+    /// Transit tape, recorded only when telemetry asks for it.
+    tape: Option<Vec<NetWindow>>,
 }
 
 impl Fabric {
@@ -167,7 +189,20 @@ impl Fabric {
             pairs: vec![Link::new(cfg); senders * receivers],
             egress: vec![Link::new(nic); senders],
             ingress: vec![Link::new(nic); receivers],
+            tape: None,
         }
+    }
+
+    /// Starts recording one [`NetWindow`] per message. Off by default —
+    /// the hot path pays one `Option` check.
+    pub fn record_tape(&mut self) {
+        self.tape.get_or_insert_with(Vec::new);
+    }
+
+    /// Drains the recorded transit windows (empty unless
+    /// [`Fabric::record_tape`] was called).
+    pub fn take_tape(&mut self) -> Vec<NetWindow> {
+        self.tape.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// The pair-link configuration.
@@ -183,7 +218,19 @@ impl Fabric {
     pub fn send(&mut self, src: usize, dst: usize, bytes: u64, now_ns: f64) -> f64 {
         let out = self.egress[src].send(bytes, now_ns);
         let wire = self.pairs[src * self.receivers + dst].send(bytes, out);
-        self.ingress[dst].send(bytes, wire)
+        let arrival = self.ingress[dst].send(bytes, wire);
+        if let Some(tape) = &mut self.tape {
+            tape.push(NetWindow {
+                src,
+                dst,
+                bytes,
+                start_ns: now_ns.max(0.0),
+                egress_done_ns: out,
+                wire_done_ns: wire,
+                arrival_ns: arrival,
+            });
+        }
+        arrival
     }
 
     /// The point-to-point link between `src` and `dst`.
@@ -204,11 +251,8 @@ impl Fabric {
     /// Fraction of aggregate ingress bandwidth used over `elapsed_ns` —
     /// the utilization figure that matters under fan-in.
     pub fn ingress_utilization(&self, elapsed_ns: f64) -> f64 {
-        if elapsed_ns <= 0.0 {
-            return 0.0;
-        }
         let cap = self.cfg.bytes_per_ns * self.ingress.len() as f64;
-        (self.total_bytes() as f64 / elapsed_ns) / cap
+        telemetry::ratio(self.total_bytes() as f64, elapsed_ns * cap)
     }
 }
 
@@ -252,6 +296,23 @@ mod tests {
         l.send(200, 50.0);
         assert_eq!(l.total_bytes(), 300);
         assert_eq!(l.messages(), 2);
+    }
+
+    #[test]
+    fn fabric_tape_records_hops_in_order() {
+        let mut f = Fabric::full_mesh(2, 2, LinkConfig::ten_gbe());
+        f.send(0, 1, 100, 0.0);
+        assert!(f.take_tape().is_empty(), "tape off by default");
+        f.record_tape();
+        let arrival = f.send(1, 0, 2500, 5.0);
+        let t = f.take_tape();
+        assert_eq!(t.len(), 1);
+        assert_eq!((t[0].src, t[0].dst, t[0].bytes), (1, 0, 2500));
+        assert_eq!(t[0].start_ns, 5.0);
+        assert!(t[0].start_ns < t[0].egress_done_ns);
+        assert!(t[0].egress_done_ns < t[0].wire_done_ns);
+        assert!(t[0].wire_done_ns < t[0].arrival_ns);
+        assert_eq!(t[0].arrival_ns, arrival);
     }
 
     #[test]

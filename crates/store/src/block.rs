@@ -448,6 +448,18 @@ impl BlockStore {
         &self.disk
     }
 
+    /// Starts recording one [`sim::DiskWindow`] per spill-device access
+    /// (telemetry's disk busy lanes). Off by default.
+    pub fn record_disk_tape(&mut self) {
+        self.disk.record_tape();
+    }
+
+    /// Drains the spill device's recorded access windows (empty unless
+    /// [`BlockStore::record_disk_tape`] was called).
+    pub fn take_disk_tape(&mut self) -> Vec<sim::DiskWindow> {
+        self.disk.take_tape()
+    }
+
     /// Moves `id` to the most-recently-used position.
     fn touch(&mut self, id: usize) {
         if let Some(t) = self.blocks[id].tick.take() {

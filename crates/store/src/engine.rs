@@ -21,6 +21,34 @@ use sdheap::{Addr, Heap, KlassRegistry};
 use serializers::{JavaSd, JsonLike, Kryo, ProtoLike, SerError, Serializer, Skyway};
 use sim::Cpu;
 use std::fmt;
+use telemetry::{NoopSink, Sink};
+
+/// Histogram names for per-op-class host-CPU time, index-aligned with
+/// [`sim::OP_CLASS_NAMES`].
+const CPU_CLASS_HISTS: [&str; 10] = [
+    "cpu.load.dep_ns",
+    "cpu.load.indep_ns",
+    "cpu.store_ns",
+    "cpu.alu_ns",
+    "cpu.branch_ns",
+    "cpu.call_ns",
+    "cpu.reflect_call_ns",
+    "cpu.str_compare_ns",
+    "cpu.hash_lookup_ns",
+    "cpu.alloc_ns",
+];
+
+/// Books a traced request's per-op-class time and uop count.
+fn emit_cpu_classes<S: Sink>(sink: &mut S, cpu: &Cpu) {
+    for (name, ns, uops) in cpu.op_classes() {
+        let i = sim::OP_CLASS_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .expect("class name comes from the same table");
+        sink.observe(CPU_CLASS_HISTS[i], ns);
+        sink.count("cpu.uops", uops);
+    }
+}
 
 /// Destination-heap base for reconstruction (clear of every source).
 pub const DST_BASE: u64 = 0x40_0000_0000;
@@ -151,13 +179,34 @@ impl Engine {
         reg: &KlassRegistry,
         root: Addr,
     ) -> (Vec<u8>, SerTiming) {
+        self.serialize_sunk(heap, reg, root, &mut NoopSink)
+    }
+
+    /// [`Engine::serialize`] with a telemetry sink: traced software
+    /// requests book per-op-class host-CPU time (the §III bottleneck
+    /// breakdown), traced accelerator requests book SU busy time and
+    /// request/byte counters. The returned bytes and timing are
+    /// identical to the untraced path for any sink.
+    pub fn serialize_sunk<S: Sink>(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut S,
+    ) -> (Vec<u8>, SerTiming) {
         match self {
             Engine::Software(ser) => {
                 let mut cpu = Cpu::host();
+                if S::ENABLED {
+                    cpu.track_op_classes(true);
+                }
                 let bytes = ser
                     .serialize(heap, reg, root, &mut cpu)
                     .expect("workload registers every class");
                 let busy_ns = cpu.report().ns;
+                if S::ENABLED {
+                    emit_cpu_classes(sink, &cpu);
+                }
                 (bytes, SerTiming { busy_ns, done_ns: None })
             }
             Engine::Cereal(accel) => {
@@ -168,6 +217,11 @@ impl Engine {
                     busy_ns: r.run.busy_ns(),
                     done_ns: Some(r.run.end_ns),
                 };
+                if S::ENABLED {
+                    sink.count("accel.ser_requests", 1);
+                    sink.count("accel.ser_bytes", r.bytes.len() as u64);
+                    sink.observe("accel.su_busy_ns", t.busy_ns);
+                }
                 (r.bytes, t)
             }
         }
@@ -185,7 +239,20 @@ impl Engine {
         root: Addr,
         checksum: bool,
     ) -> (Vec<u8>, SerTiming) {
-        let (mut bytes, mut t) = self.serialize(heap, reg, root);
+        self.serialize_framed_sunk(heap, reg, root, checksum, &mut NoopSink)
+    }
+
+    /// [`Engine::serialize_framed`] with a telemetry sink (see
+    /// [`Engine::serialize_sunk`] for what traced requests book).
+    pub fn serialize_framed_sunk<S: Sink>(
+        &mut self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        checksum: bool,
+        sink: &mut S,
+    ) -> (Vec<u8>, SerTiming) {
+        let (mut bytes, mut t) = self.serialize_sunk(heap, reg, root, sink);
         if checksum {
             let seal_ns = frame::crc_ns(bytes.len());
             frame::seal_into(&mut bytes);
@@ -227,6 +294,23 @@ impl Engine {
         capacity: u64,
         checksum: bool,
     ) -> Result<(Heap, Addr, f64), EngineError> {
+        self.try_deserialize_sunk(bytes, reg, capacity, checksum, &mut NoopSink)
+    }
+
+    /// [`Engine::try_deserialize`] with a telemetry sink: traced software
+    /// requests book per-op-class host-CPU time, traced accelerator
+    /// requests book DU busy time and request/byte counters.
+    ///
+    /// # Errors
+    /// Same as [`Engine::try_deserialize`].
+    pub fn try_deserialize_sunk<S: Sink>(
+        &mut self,
+        bytes: &[u8],
+        reg: &KlassRegistry,
+        capacity: u64,
+        checksum: bool,
+        sink: &mut S,
+    ) -> Result<(Heap, Addr, f64), EngineError> {
         let (payload, verify_ns) = if checksum {
             (frame::verify(bytes)?, frame::crc_ns(bytes.len() - frame::FOOTER_BYTES))
         } else {
@@ -236,12 +320,23 @@ impl Engine {
         match self {
             Engine::Software(ser) => {
                 let mut cpu = Cpu::host();
+                if S::ENABLED {
+                    cpu.track_op_classes(true);
+                }
                 let root = ser.deserialize(payload, reg, &mut dst, &mut cpu)?;
                 let ns = cpu.report().ns;
+                if S::ENABLED {
+                    emit_cpu_classes(sink, &cpu);
+                }
                 Ok((dst, root, ns + verify_ns))
             }
             Engine::Cereal(accel) => {
                 let r = accel.deserialize(payload, &mut dst)?;
+                if S::ENABLED {
+                    sink.count("accel.de_requests", 1);
+                    sink.count("accel.de_bytes", payload.len() as u64);
+                    sink.observe("accel.du_busy_ns", r.run.busy_ns());
+                }
                 Ok((dst, r.root, r.run.busy_ns() + verify_ns))
             }
         }

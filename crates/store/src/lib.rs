@@ -42,5 +42,7 @@ pub use block::{
 };
 pub use engine::{Backend, Engine, EngineError, SerTiming, DST_BASE};
 pub use par::par_map;
-pub use rdd::{build_part, run_rdd, AccessPattern, PartBuild, PassStats, RddConfig, RddOutcome};
+pub use rdd::{
+    build_part, run_rdd, run_rdd_sunk, AccessPattern, PartBuild, PassStats, RddConfig, RddOutcome,
+};
 pub use report::{run_suite, RunRecord, StoreReport};

@@ -22,6 +22,8 @@ use sdheap::gc;
 use sdheap::rng::Rng;
 use sdheap::{Addr, Heap, KlassRegistry};
 use sim::{DiskConfig, FaultConfig};
+use telemetry::ids::{DRIVER_PID, T_DISK, T_MAIN};
+use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
 use workloads::AggConfig;
 
 use crate::block::{
@@ -206,6 +208,35 @@ impl BlockSource for Lineage<'_> {
     }
 }
 
+/// Books the store-counter deltas one `put`/`get` produced as telemetry
+/// counters (and an `evict` instant when the operation evicted blocks),
+/// so `store.*` counters are derived at the event sites rather than
+/// copied from the final [`StoreStats`].
+fn book_store_deltas<S: Sink>(sink: &mut S, before: &StoreStats, after: &StoreStats, now_ns: f64) {
+    if after.evictions > before.evictions {
+        let blocks = after.evictions - before.evictions;
+        let bytes = after.evicted_bytes - before.evicted_bytes;
+        sink.count("store.evictions", blocks);
+        sink.count("store.evicted_bytes", bytes);
+        sink.instant(Instant {
+            entity: EntityId { pid: DRIVER_PID, tid: T_MAIN },
+            name: "evict",
+            t_ns: now_ns,
+            attrs: vec![("blocks", blocks.into()), ("bytes", bytes.into())],
+        });
+    }
+    if after.spills > before.spills {
+        sink.count("store.spills", after.spills - before.spills);
+        sink.count("store.spilled_bytes", after.spilled_bytes - before.spilled_bytes);
+    }
+    if after.read_retries > before.read_retries {
+        sink.count("store.read_retries", after.read_retries - before.read_retries);
+    }
+    if after.checksum_errors > before.checksum_errors {
+        sink.count("store.checksum_errors", after.checksum_errors - before.checksum_errors);
+    }
+}
+
 /// The partition visit order of pass `pass`.
 fn pass_order(cfg: &RddConfig, pass: usize) -> Vec<usize> {
     let n = cfg.agg.mappers;
@@ -226,6 +257,22 @@ fn pass_order(cfg: &RddConfig, pass: usize) -> Vec<usize> {
 /// Propagates [`StoreError`] from faulted accesses the store cannot
 /// recover (e.g. corruption injected without checksums).
 pub fn run_rdd(cfg: &RddConfig) -> Result<RddOutcome, StoreError> {
+    run_rdd_sunk(cfg, &mut NoopSink)
+}
+
+/// [`run_rdd`] with a telemetry sink: the sequential phase-2 driver
+/// timeline is emitted as spans on the driver entity — one
+/// `materialize` span per partition, `read.fetch`/`read.recompute`
+/// spans and `hit` instants per access, `deserialize` spans for every
+/// cache read, `evict` instants, and the spill device's busy windows as
+/// `disk.read`/`disk.write` spans on the driver's disk lane. Counters
+/// (`store.*`) are booked at the event sites so they reconcile with
+/// [`StoreStats`] by construction. The returned outcome is identical to
+/// the untraced path for any sink.
+///
+/// # Errors
+/// Same as [`run_rdd`].
+pub fn run_rdd_sunk<S: Sink>(cfg: &RddConfig, sink: &mut S) -> Result<RddOutcome, StoreError> {
     let n = cfg.agg.mappers;
     let parts: Vec<PartBuild> = par_map(cfg.jobs, n, |m| build_part(cfg, m));
 
@@ -255,14 +302,37 @@ pub fn run_rdd(cfg: &RddConfig) -> Result<RddOutcome, StoreError> {
         fault: cfg.fault,
         checksum: cfg.checksum,
     });
+    let driver = EntityId { pid: DRIVER_PID, tid: T_MAIN };
+    if S::ENABLED {
+        sink.name_process(DRIVER_PID, "driver");
+        sink.name_thread(DRIVER_PID, T_MAIN, "driver");
+        sink.name_thread(DRIVER_PID, T_DISK, "block-store disk");
+        store.record_disk_tape();
+    }
 
     // Phase 2: one sequential driver timeline.
     let mut now = 0.0f64;
     for (m, p) in parts.iter().enumerate() {
+        let start = now;
+        let before = store.stats();
         now += p.recompute_ns; // initial build + serialize
         let (id, done) = store.put(p.bytes.clone(), p.recompute_ns, now);
         debug_assert_eq!(id, m);
         now = done;
+        if S::ENABLED {
+            sink.count("store.puts", 1);
+            sink.span(Span {
+                entity: driver,
+                name: "materialize",
+                t0_ns: start,
+                t1_ns: now,
+                attrs: vec![
+                    ("partition", (m as u64).into()),
+                    ("bytes", (p.bytes.len() as u64).into()),
+                ],
+            });
+            book_store_deltas(sink, &before, &store.stats(), now);
+        }
     }
     let materialize_ns = now;
 
@@ -272,22 +342,89 @@ pub fn run_rdd(cfg: &RddConfig) -> Result<RddOutcome, StoreError> {
         let before = store.stats();
         let start = now;
         for m in pass_order(cfg, pass) {
+            let at = now;
+            let pre = store.stats();
             let access = store.get(m, now, &mut lineage)?;
             now = access.done_ns;
+            if S::ENABLED {
+                let part = ("partition", telemetry::AttrValue::from(m as u64));
+                match access.outcome {
+                    AccessOutcome::Hit => {
+                        sink.count("store.hits", 1);
+                        sink.instant(Instant {
+                            entity: driver,
+                            name: "hit",
+                            t_ns: at,
+                            attrs: vec![part],
+                        });
+                    }
+                    AccessOutcome::DiskFetch => {
+                        sink.count("store.disk_fetches", 1);
+                        sink.span(Span {
+                            entity: driver,
+                            name: "read.fetch",
+                            t0_ns: at,
+                            t1_ns: now,
+                            attrs: vec![part],
+                        });
+                    }
+                    AccessOutcome::Recomputed => {
+                        sink.count("store.recomputes", 1);
+                        sink.span(Span {
+                            entity: driver,
+                            name: "read.recompute",
+                            t0_ns: at,
+                            t1_ns: now,
+                            attrs: vec![part],
+                        });
+                    }
+                }
+                book_store_deltas(sink, &pre, &store.stats(), now);
+            }
             match access.outcome {
                 // Serialized caching pays deserialization on every read;
                 // recomputation hands over the live graph directly.
-                AccessOutcome::Hit | AccessOutcome::DiskFetch => now += parts[m].de_ns,
+                AccessOutcome::Hit | AccessOutcome::DiskFetch => {
+                    if S::ENABLED {
+                        sink.span(Span {
+                            entity: driver,
+                            name: "deserialize",
+                            t0_ns: now,
+                            t1_ns: now + parts[m].de_ns,
+                            attrs: vec![("partition", (m as u64).into())],
+                        });
+                    }
+                    now += parts[m].de_ns;
+                }
                 AccessOutcome::Recomputed => {}
             }
         }
         let after = store.stats();
+        if S::ENABLED {
+            sink.observe("store.pass_ns", now - start);
+        }
         passes.push(PassStats {
             hits: after.hits - before.hits,
             disk_fetches: after.disk_fetches - before.disk_fetches,
             recomputes: after.recomputes - before.recomputes,
             ns: now - start,
         });
+    }
+
+    if S::ENABLED {
+        let lane = EntityId { pid: DRIVER_PID, tid: T_DISK };
+        for w in store.take_disk_tape() {
+            sink.span(Span {
+                entity: lane,
+                name: if w.write { "disk.write" } else { "disk.read" },
+                t0_ns: w.start_ns,
+                t1_ns: w.end_ns,
+                attrs: vec![("bytes", w.bytes.into())],
+            });
+        }
+        sink.count("store.disk_read_bytes", store.disk().read_bytes());
+        sink.count("store.disk_write_bytes", store.disk().write_bytes());
+        sink.count("store.disk_seeks", store.disk().seeks());
     }
 
     Ok(RddOutcome {

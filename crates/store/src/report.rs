@@ -3,10 +3,12 @@
 //! Every field is derived from simulated clocks and deterministic
 //! counters — nothing wall-clock, nothing machine-dependent — so the
 //! rendered JSON is byte-identical across runs and job counts
-//! (test- and CI-enforced for `--jobs 1` vs `--jobs 4`).
+//! (test- and CI-enforced for `--jobs 1` vs `--jobs 4`). All rendering
+//! goes through the workspace's one [`JsonWriter`].
 
 use crate::block::StoreError;
 use crate::rdd::{run_rdd, AccessPattern, RddConfig, RddOutcome};
+use telemetry::JsonWriter;
 
 /// One cached-RDD run: the knobs that varied plus the outcome.
 pub struct RunRecord {
@@ -45,61 +47,49 @@ impl RunRecord {
         })
     }
 
-    fn to_json(&self) -> String {
+    fn render(&self, w: &mut JsonWriter) {
         let o = &self.outcome;
         let s = &o.store;
-        // Appended only for faulted/checksummed runs: fault-free JSON is
-        // byte-identical to the pre-fault harness.
-        let fault = if self.faulted {
-            format!(
-                ",\n\x20     \"read_retries\": {}, \"retry_ns\": {:.3}, \"checksum_errors\": {}",
-                s.read_retries, s.retry_ns, s.checksum_errors
-            )
-        } else {
-            String::new()
-        };
-        let passes: Vec<String> = o
-            .passes
-            .iter()
-            .map(|p| {
-                format!(
-                    "{{\"hits\": {}, \"disk_fetches\": {}, \"recomputes\": {}, \"ns\": {:.3}}}",
-                    p.hits, p.disk_fetches, p.recomputes, p.ns
-                )
-            })
-            .collect();
-        format!(
-            "    {{\"backend\": \"{}\", \"memory_fraction\": {:.2}, \"policy\": \"{}\",\n\
-             \x20     \"disk\": \"{}\", \"access\": \"{}\",\n\
-             \x20     \"dataset_bytes\": {}, \"budget_bytes\": {},\n\
-             \x20     \"hits\": {}, \"disk_fetches\": {}, \"recomputes\": {},\n\
-             \x20     \"evictions\": {}, \"evicted_bytes\": {}, \"spills\": {}, \"spilled_bytes\": {},\n\
-             \x20     \"disk_read_bytes\": {}, \"disk_write_bytes\": {}, \"disk_seeks\": {},\n\
-             \x20     \"materialize_ns\": {:.3}, \"total_ns\": {:.3}, \"fold_ok\": {}{},\n\
-             \x20     \"passes\": [{}]}}",
-            self.backend,
-            self.memory_fraction,
-            self.policy,
-            self.disk,
-            self.access,
-            o.dataset_bytes,
-            o.budget_bytes,
-            s.hits,
-            s.disk_fetches,
-            s.recomputes,
-            s.evictions,
-            s.evicted_bytes,
-            s.spills,
-            s.spilled_bytes,
-            o.disk_read_bytes,
-            o.disk_write_bytes,
-            o.disk_seeks,
-            o.materialize_ns,
-            o.total_ns,
-            o.fold_ok,
-            fault,
-            passes.join(", ")
-        )
+        w.begin_obj();
+        w.field_str("backend", self.backend);
+        w.field_f64("memory_fraction", self.memory_fraction, 2);
+        w.field_str("policy", self.policy);
+        w.field_str("disk", self.disk);
+        w.field_str("access", &self.access);
+        w.field_u64("dataset_bytes", o.dataset_bytes);
+        w.field_u64("budget_bytes", o.budget_bytes);
+        w.field_u64("hits", s.hits);
+        w.field_u64("disk_fetches", s.disk_fetches);
+        w.field_u64("recomputes", s.recomputes);
+        w.field_u64("evictions", s.evictions);
+        w.field_u64("evicted_bytes", s.evicted_bytes);
+        w.field_u64("spills", s.spills);
+        w.field_u64("spilled_bytes", s.spilled_bytes);
+        w.field_u64("disk_read_bytes", o.disk_read_bytes);
+        w.field_u64("disk_write_bytes", o.disk_write_bytes);
+        w.field_u64("disk_seeks", o.disk_seeks);
+        w.field_f64("materialize_ns", o.materialize_ns, 3);
+        w.field_f64("total_ns", o.total_ns, 3);
+        w.field_bool("fold_ok", o.fold_ok);
+        // Appended only for faulted/checksummed runs: fault-free JSON
+        // stays free of the fault fields.
+        if self.faulted {
+            w.field_u64("read_retries", s.read_retries);
+            w.field_f64("retry_ns", s.retry_ns, 3);
+            w.field_u64("checksum_errors", s.checksum_errors);
+        }
+        w.key("passes");
+        w.begin_arr();
+        for p in &o.passes {
+            w.begin_obj();
+            w.field_u64("hits", p.hits);
+            w.field_u64("disk_fetches", p.disk_fetches);
+            w.field_u64("recomputes", p.recomputes);
+            w.field_f64("ns", p.ns, 3);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
     }
 }
 
@@ -123,23 +113,27 @@ impl StoreReport {
     /// Renders the report as deterministic JSON (job count and wall
     /// clock deliberately excluded).
     pub fn to_json(&self) -> String {
-        let rows: Vec<String> = self.runs.iter().map(RunRecord::to_json).collect();
-        format!(
-            "{{\n\
-             \x20 \"generated_by\": \"block store suite\",\n\
-             \x20 \"config\": {{\n\
-             \x20   \"partitions\": {}, \"records_per_partition\": {}, \"distinct_keys\": {},\n\
-             \x20   \"seed\": {}, \"passes\": {}\n\
-             \x20 }},\n\
-             \x20 \"runs\": [\n{}\n\x20 ]\n\
-             }}\n",
-            self.partitions,
-            self.records_per_partition,
-            self.distinct_keys,
-            self.seed,
-            self.passes,
-            rows.join(",\n")
-        )
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("generated_by", "block store suite");
+        w.key("config");
+        w.begin_obj();
+        w.field_u64("partitions", self.partitions as u64);
+        w.field_u64("records_per_partition", self.records_per_partition as u64);
+        w.field_u64("distinct_keys", self.distinct_keys);
+        w.field_u64("seed", self.seed);
+        w.field_u64("passes", self.passes as u64);
+        w.end_obj();
+        w.key("runs");
+        w.begin_arr();
+        for r in &self.runs {
+            r.render(&mut w);
+        }
+        w.end_arr();
+        w.end_obj();
+        let mut out = w.finish();
+        out.push('\n');
+        out
     }
 }
 

@@ -1,0 +1,179 @@
+//! Chrome trace-event JSON export.
+//!
+//! [`chrome_trace`] turns a [`Recorder`] into the trace-event format
+//! that Perfetto and `chrome://tracing` load directly: metadata events
+//! name each process (executor / device) and thread (work stream),
+//! complete events (`"ph": "X"`) render spans, instant events
+//! (`"ph": "i"`) render point events. One event per line, all ordering
+//! derived from sorted keys and stable sorts on simulated timestamps —
+//! the output is byte-identical for any worker-thread count.
+
+use crate::json::esc;
+use crate::span::{Attr, AttrValue, Recorder};
+use std::fmt::Write as _;
+
+/// Nanoseconds → the microsecond `ts`/`dur` fields, 3 decimals
+/// (nanosecond resolution preserved).
+fn us(ns: f64) -> String {
+    format!("{:.3}", ns / 1000.0)
+}
+
+fn push_args(out: &mut String, attrs: &[Attr]) {
+    if attrs.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", esc(k));
+        match v {
+            AttrValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            AttrValue::F64(x) => {
+                let _ = write!(out, "{x:.3}");
+            }
+            AttrValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", esc(s));
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Renders the recorder as a Chrome trace-event JSON document.
+///
+/// Spans become complete events and instants become point events,
+/// merged into one stream stably sorted by
+/// `(timestamp, pid, tid, name)`; process/thread metadata events come
+/// first, sorted by id. Timestamps are microseconds with 3 decimals, so
+/// simulated-nanosecond resolution survives the unit conversion.
+pub fn chrome_trace(rec: &Recorder) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    for (pid, name) in &rec.process_names {
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+    for ((pid, tid), name) in &rec.thread_names {
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    // One sortable record per event; the stable sort keeps emission
+    // order among exact ties.
+    enum Ev<'a> {
+        Span(&'a crate::span::Span),
+        Instant(&'a crate::span::Instant),
+    }
+    let mut events: Vec<(f64, u32, u32, &'static str, Ev<'_>)> = Vec::new();
+    for s in &rec.spans {
+        events.push((s.t0_ns, s.entity.pid, s.entity.tid, s.name, Ev::Span(s)));
+    }
+    for e in &rec.instants {
+        events.push((e.t_ns, e.entity.pid, e.entity.tid, e.name, Ev::Instant(e)));
+    }
+    events.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            .then(a.3.cmp(b.3))
+    });
+
+    for (_, pid, tid, name, ev) in &events {
+        let mut line = String::new();
+        match ev {
+            Ev::Span(s) => {
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{}\"",
+                    us(s.t0_ns),
+                    us(s.t1_ns - s.t0_ns),
+                    esc(name)
+                );
+                push_args(&mut line, &s.attrs);
+            }
+            Ev::Instant(e) => {
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{}\"",
+                    us(e.t_ns),
+                    esc(name)
+                );
+                push_args(&mut line, &e.attrs);
+            }
+        }
+        line.push('}');
+        lines.push(line);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{EntityId, Instant, Sink, Span};
+
+    #[test]
+    fn events_sort_by_time_then_entity() {
+        let mut r = Recorder::new();
+        r.name_process(2, "b");
+        r.name_process(1, "a");
+        r.span(Span {
+            entity: EntityId { pid: 2, tid: 0 },
+            name: "late",
+            t0_ns: 2000.0,
+            t1_ns: 3000.0,
+            attrs: vec![("bytes", 64u64.into())],
+        });
+        r.span(Span {
+            entity: EntityId { pid: 1, tid: 0 },
+            name: "early",
+            t0_ns: 1000.0,
+            t1_ns: 1500.0,
+            attrs: Vec::new(),
+        });
+        r.instant(Instant {
+            entity: EntityId { pid: 1, tid: 0 },
+            name: "tick",
+            t_ns: 1000.0,
+            attrs: Vec::new(),
+        });
+        let json = chrome_trace(&r);
+        let lines: Vec<&str> = json.lines().collect();
+        // Header, two metadata lines (pid 1 before pid 2), then events.
+        assert!(lines[1].contains("\"pid\":1"));
+        assert!(lines[2].contains("\"pid\":2"));
+        // At 1000 ns the span sorts with the instant; name breaks the
+        // tie ("early" < "tick").
+        assert!(lines[3].contains("\"name\":\"early\""));
+        assert!(lines[4].contains("\"name\":\"tick\""));
+        assert!(lines[5].contains("\"name\":\"late\""));
+        assert!(lines[5].contains("\"ts\":2.000"));
+        assert!(lines[5].contains("\"dur\":1.000"));
+        assert!(lines[5].contains("\"args\":{\"bytes\":64}"));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}\n"));
+    }
+
+    #[test]
+    fn nanosecond_resolution_survives() {
+        assert_eq!(us(1.0), "0.001");
+        assert_eq!(us(1234.0), "1.234");
+    }
+}

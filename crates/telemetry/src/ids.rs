@@ -1,0 +1,29 @@
+//! The workspace-wide trace id convention.
+//!
+//! Chrome's trace model groups events by `(pid, tid)`. Each simulated
+//! executor or device gets a process id, each of its work streams a
+//! thread id, and every crate that instruments itself uses these
+//! constants — so recorders produced by different subsystems merge into
+//! one coherent trace without id collisions.
+
+/// The driver / store scenario timeline.
+pub const DRIVER_PID: u32 = 1;
+/// Mapper executor `m` is process `MAPPER_PID_BASE + m`.
+pub const MAPPER_PID_BASE: u32 = 100;
+/// Reducer executor `r` is process `REDUCER_PID_BASE + r`.
+pub const REDUCER_PID_BASE: u32 = 200;
+/// The Cereal accelerator device.
+pub const ACCEL_PID: u32 = 900;
+
+/// Main work stream of an executor (serialize / deserialize / driver).
+pub const T_MAIN: u32 = 0;
+/// The executor's spill-disk device stream.
+pub const T_DISK: u32 = 1;
+/// Send-side flow control: wire attempts, backpressure, retry backoff.
+pub const T_SEND: u32 = 2;
+/// NIC busy windows (egress on mappers, ingress on reducers).
+pub const T_NIC: u32 = 3;
+
+/// Accelerator SU `u` traces on thread `u`; DU `u` on
+/// `DU_TID_BASE + u`.
+pub const DU_TID_BASE: u32 = 64;

@@ -1,0 +1,44 @@
+//! Denominator-safe rate helpers.
+//!
+//! Every spot in the workspace that renders a rate or ratio — records
+//! per second, link/disk utilization, IPC, goodput — divides a total by
+//! an elapsed time or capacity that can legitimately be zero (empty
+//! run, zero-length window). These helpers centralize the guard so no
+//! report ever renders `inf`/`NaN`.
+
+/// `count` per second over `elapsed_ns` of simulated time; `0.0` when
+/// the window is empty, non-positive, or non-finite.
+pub fn per_sec(count: u64, elapsed_ns: f64) -> f64 {
+    if elapsed_ns > 0.0 && elapsed_ns.is_finite() {
+        count as f64 * 1e9 / elapsed_ns
+    } else {
+        0.0
+    }
+}
+
+/// `num / den`, `0.0` when the denominator is non-positive or either
+/// side is non-finite.
+pub fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 && den.is_finite() && num.is_finite() {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_zero_and_negative_denominators() {
+        assert_eq!(per_sec(100, 0.0), 0.0);
+        assert_eq!(per_sec(100, -5.0), 0.0);
+        assert_eq!(per_sec(100, f64::NAN), 0.0);
+        assert_eq!(per_sec(5, 1e9), 5.0);
+        assert_eq!(ratio(1.0, 0.0), 0.0);
+        assert_eq!(ratio(1.0, -1.0), 0.0);
+        assert_eq!(ratio(f64::NAN, 1.0), 0.0);
+        assert_eq!(ratio(3.0, 2.0), 1.5);
+    }
+}

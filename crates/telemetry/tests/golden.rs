@@ -1,0 +1,57 @@
+//! Golden-file test: the Chrome trace export of a small hand-built
+//! recording is pinned byte-for-byte. Any change to the exporter's
+//! format, ordering, or unit conversion shows up here first.
+
+use telemetry::span::Span;
+use telemetry::{chrome_trace, EntityId, Instant, Recorder, Sink};
+
+const GOLDEN: &str = r#"{"traceEvents":[
+{"ph":"M","name":"process_name","pid":1,"args":{"name":"driver"}},
+{"ph":"M","name":"process_name","pid":100,"args":{"name":"mapper 0"}},
+{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"main"}},
+{"ph":"M","name":"thread_name","pid":100,"tid":1,"args":{"name":"spill disk"}},
+{"ph":"X","pid":1,"tid":0,"ts":1.000,"dur":2.500,"name":"serialize","args":{"bytes":256,"backend":"kryo"}},
+{"ph":"i","pid":1,"tid":0,"ts":2.000,"s":"t","name":"evict","args":{"block":3}},
+{"ph":"X","pid":100,"tid":1,"ts":2.000,"dur":0.001,"name":"spill.write"},
+{"ph":"i","pid":100,"tid":1,"ts":4.750,"s":"t","name":"quote \"q\""}
+],"displayTimeUnit":"ns"}
+"#;
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let mut r = Recorder::new();
+    // Registration order scrambled on purpose: export sorts by id.
+    r.name_process(100, "mapper 0");
+    r.name_process(1, "driver");
+    r.name_thread(100, 1, "spill disk");
+    r.name_thread(1, 0, "main");
+
+    r.span(Span {
+        entity: EntityId { pid: 100, tid: 1 },
+        name: "spill.write",
+        t0_ns: 2000.0,
+        t1_ns: 2001.0,
+        attrs: Vec::new(),
+    });
+    r.span(Span {
+        entity: EntityId { pid: 1, tid: 0 },
+        name: "serialize",
+        t0_ns: 1000.0,
+        t1_ns: 3500.0,
+        attrs: vec![("bytes", 256u64.into()), ("backend", "kryo".into())],
+    });
+    r.instant(Instant {
+        entity: EntityId { pid: 1, tid: 0 },
+        name: "evict",
+        t_ns: 2000.0,
+        attrs: vec![("block", 3u64.into())],
+    });
+    r.instant(Instant {
+        entity: EntityId { pid: 100, tid: 1 },
+        name: "quote \"q\"",
+        t_ns: 4750.0,
+        attrs: Vec::new(),
+    });
+
+    assert_eq!(chrome_trace(&r), GOLDEN);
+}

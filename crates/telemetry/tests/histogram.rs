@@ -1,0 +1,91 @@
+//! Seeded property test: for a stream of pseudo-random observations,
+//! the bucketed percentile estimate must bracket the exact percentile
+//! computed by a naive sort of the same stream.
+
+use telemetry::Histogram;
+
+/// The same multiplier/increment LCG the simulators use — no external
+/// randomness, identical stream every run.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A value in `[0, 2^40)` with a rough log-uniform spread, so the
+    /// stream exercises many buckets including overflow.
+    fn value(&mut self) -> f64 {
+        let shift = self.next_u64() % 41;
+        let mantissa = self.next_u64() % 1000;
+        ((1u64 << shift) as f64) + mantissa as f64 / 7.0
+    }
+}
+
+/// Exact `q`-quantile by sorting: the same 1-based-rank convention the
+/// histogram documents (`rank = ceil(q * n)` clamped to `[1, n]`).
+fn naive_percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn bucketed_percentiles_bracket_naive_sort() {
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0xDEAD_BEEF] {
+        let mut rng = Lcg(seed);
+        let values: Vec<f64> = (0..4096).map(|_| rng.value()).collect();
+
+        let mut h = Histogram::default_bounds();
+        for &v in &values {
+            h.record(v);
+        }
+
+        for q in [0.0, 0.10, 0.50, 0.90, 0.99, 1.0] {
+            let exact = naive_percentile(&values, q);
+            let (lo, hi) = h.percentile_bounds(q).unwrap();
+            assert!(
+                lo <= exact && exact <= hi,
+                "seed {seed:#x} q {q}: exact {exact} outside [{lo}, {hi}]"
+            );
+            // The point estimate is the interval's upper edge.
+            assert_eq!(h.percentile(q).unwrap(), hi);
+        }
+    }
+}
+
+#[test]
+fn split_then_merged_histogram_matches_single_recording() {
+    let mut rng = Lcg(42);
+    let values: Vec<f64> = (0..1000).map(|_| rng.value()).collect();
+
+    let mut whole = Histogram::default_bounds();
+    for &v in &values {
+        whole.record(v);
+    }
+
+    // Record the same stream through 4 children merged in order, as the
+    // fan-out workers do.
+    let mut merged = Histogram::default_bounds();
+    for chunk in values.chunks(250) {
+        let mut child = Histogram::default_bounds();
+        for &v in chunk {
+            child.record(v);
+        }
+        merged.merge(&child);
+    }
+
+    // Bucket counts, totals and extremes match exactly; the f64 sum is
+    // associativity-sensitive, so it only matches to rounding error.
+    assert_eq!(whole.nonzero_buckets(), merged.nonzero_buckets());
+    assert_eq!(whole.count, merged.count);
+    assert_eq!(whole.min, merged.min);
+    assert_eq!(whole.max, merged.max);
+    let rel = (whole.sum - merged.sum).abs() / whole.sum.abs();
+    assert!(rel < 1e-12, "sum drifted: {} vs {}", whole.sum, merged.sum);
+}

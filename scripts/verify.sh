@@ -45,4 +45,16 @@ cargo run --release -p cereal-bench --bin faults $CARGO_FLAGS -- \
 cmp target/faults_jobs1.json target/faults_jobs4.json \
   || { echo "faults report differs between 1 and 4 jobs"; exit 1; }
 
+echo "== trace smoke + thread-count determinism =="
+# The binary itself exits non-zero if any exported counter disagrees
+# with its report-side twin.
+cargo run --release -p cereal-bench --bin trace $CARGO_FLAGS -- \
+  --jobs 1 --out target/trace_report_jobs1.json --trace-out target/trace_jobs1.json
+cargo run --release -p cereal-bench --bin trace $CARGO_FLAGS -- \
+  --jobs 4 --out target/trace_report_jobs4.json --trace-out target/trace_jobs4.json
+cmp target/trace_report_jobs1.json target/trace_report_jobs4.json \
+  || { echo "trace report differs between 1 and 4 jobs"; exit 1; }
+cmp target/trace_jobs1.json target/trace_jobs4.json \
+  || { echo "chrome trace differs between 1 and 4 jobs"; exit 1; }
+
 echo "verify: OK"
