@@ -1,22 +1,26 @@
 //! Runs the complete evaluation — every figure and table — in one pass,
 //! reusing each suite's measurements.
 //!
-//! The eight experiment units (six microbenchmarks, JSBS, Spark) are
-//! independent: each builds its own heap and seeds its own PRNG, so they
-//! fan out across worker threads (`--jobs N`, default: available
-//! parallelism) without changing any measurement. Rendering happens only
-//! after every unit completes, in the fixed figure order, so the report
-//! is byte-identical for any job count.
+//! The eighteen experiment units (six microbenchmarks, six JSBS measured
+//! serializer runs, six Spark applications) are independent: each builds
+//! its own heap and seeds its own PRNG, so they fan out across worker
+//! threads (`--jobs N`, default: available parallelism) without changing
+//! any measurement. Rendering happens only after every unit completes,
+//! in the fixed figure order, so the report is byte-identical for any
+//! job count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use cereal_bench::micro_suite::MicroResult;
+use cereal_bench::runners::SdMeasure;
+use cereal_bench::spark_suite::SparkResult;
 use cereal_bench::{jsbs_suite, micro_suite, render, spark_suite};
-use workloads::MicroBench;
+use workloads::{MicroBench, SparkApp};
 
-/// Number of independent experiment units: 6 micro + JSBS + Spark.
-const UNITS: usize = 8;
+/// Number of independent experiment units: 6 micro + 6 JSBS measured
+/// runs + 6 Spark apps.
+const UNITS: usize = 6 + jsbs_suite::MEASURED_UNITS + 6;
 
 fn jobs_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -50,10 +54,13 @@ fn main() {
     );
 
     let benches = MicroBench::all();
+    let apps = SparkApp::all();
     let micro_slots: Vec<Mutex<Option<MicroResult>>> =
         (0..benches.len()).map(|_| Mutex::new(None)).collect();
-    let jsbs_slot = Mutex::new(None);
-    let spark_slot = Mutex::new(None);
+    let jsbs_slots: Vec<Mutex<Option<SdMeasure>>> =
+        (0..jsbs_suite::MEASURED_UNITS).map(|_| Mutex::new(None)).collect();
+    let spark_slots: Vec<Mutex<Option<SparkResult>>> =
+        (0..apps.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
@@ -67,13 +74,16 @@ fn main() {
                         *micro_slots[unit].lock().unwrap() =
                             Some(micro_suite::run_one(bench, micro_scale));
                     }
-                    6 => {
-                        eprintln!("  JSBS suite...");
-                        *jsbs_slot.lock().unwrap() = Some(jsbs_suite::run());
+                    6..=11 => {
+                        let m = unit - 6;
+                        eprintln!("  JSBS measured run {m}...");
+                        *jsbs_slots[m].lock().unwrap() = Some(jsbs_suite::run_measured(m));
                     }
-                    7 => {
-                        eprintln!("  Spark suite...");
-                        *spark_slot.lock().unwrap() = Some(spark_suite::run(spark_scale));
+                    12..=17 => {
+                        let app = apps[unit - 12];
+                        eprintln!("  Spark: {}...", app.name());
+                        *spark_slots[unit - 12].lock().unwrap() =
+                            Some(spark_suite::run_one(app, spark_scale));
                     }
                     _ => break,
                 }
@@ -85,8 +95,15 @@ fn main() {
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("micro unit ran"))
         .collect();
-    let jsbs = jsbs_slot.into_inner().unwrap().expect("JSBS unit ran");
-    let spark = spark_slot.into_inner().unwrap().expect("Spark unit ran");
+    let jsbs_measures: Vec<SdMeasure> = jsbs_slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("JSBS unit ran"))
+        .collect();
+    let jsbs = jsbs_suite::assemble(&jsbs_measures);
+    let spark: Vec<SparkResult> = spark_slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("Spark unit ran"))
+        .collect();
 
     println!("{}", render::table1());
     println!("{}", render::fig2(&spark));

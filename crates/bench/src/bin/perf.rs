@@ -10,11 +10,14 @@
 //!   before timing;
 //! * **serializer round trips** — serialize + deserialize per software
 //!   baseline on a fixed microbenchmark graph;
+//! * **compiled plans** — interpretive field-walking vs compiled-plan
+//!   execution per software backend, with byte-identical streams
+//!   asserted before timing;
 //! * **accelerator simulation** — wall-clock of one full cycle-model run
 //!   (the simulated nanoseconds are recorded too, as a determinism
 //!   anchor: optimizations must not move them);
-//! * **experiment fan-out** — the eight `--bin all` units at one worker
-//!   vs all available workers.
+//! * **experiment fan-out** — the eighteen `--bin all` units at one
+//!   worker vs all available workers.
 //!
 //! Simulated times are deterministic; the wall-clock numbers in the JSON
 //! are machine-dependent and only comparable against runs on the same
@@ -28,10 +31,11 @@ use cereal::CerealConfig;
 use cereal_bench::{jsbs_suite, micro_suite, repeat_root, run_cereal, spark_suite};
 use sdformat::bitio::naive::{NaiveBitReader, NaiveBitWriter};
 use sdformat::pack::{EndMap, Packed};
+use sdheap::builder::Init;
 use sdheap::rng::Rng;
-use sdheap::{Addr, Heap};
+use sdheap::{Addr, FieldKind, GraphBuilder, Heap, KlassRegistry, ValueType};
 use serializers::{JavaSd, JsonLike, Kryo, NullSink, ProtoLike, Serializer, Skyway};
-use workloads::{MicroBench, Scale, SparkScale};
+use workloads::{MicroBench, Scale, SparkApp, SparkScale};
 
 /// Destination-heap base for reconstruction (clear of every source).
 const DST_BASE: u64 = 0x40_0000_0000;
@@ -284,6 +288,165 @@ fn serializer_roundtrips(iters: usize) -> Vec<SerPerf> {
         .collect()
 }
 
+struct PlanPerf {
+    name: String,
+    iters: usize,
+    interp_ser_ms: f64,
+    compiled_ser_ms: f64,
+    interp_de_ms: f64,
+    compiled_de_ms: f64,
+    stream_bytes: usize,
+}
+
+impl PlanPerf {
+    fn ser_speedup(&self) -> f64 {
+        self.interp_ser_ms / self.compiled_ser_ms
+    }
+    fn de_speedup(&self) -> f64 {
+        self.interp_de_ms / self.compiled_de_ms
+    }
+}
+
+/// A field-program stress graph: many mixed-width primitive fields (long
+/// copy runs split once by a reference), heavy sharing through one leaf,
+/// everything rooted in an `Object[]` — the shape where per-object
+/// `fields()` walking costs the most.
+fn plan_bench_graph() -> (Heap, KlassRegistry, Addr) {
+    let mut b = GraphBuilder::new(1 << 18);
+    let r = b.klass(
+        "R",
+        vec![
+            FieldKind::Value(ValueType::Long),
+            FieldKind::Value(ValueType::Int),
+            FieldKind::Value(ValueType::Char),
+            FieldKind::Value(ValueType::Byte),
+            FieldKind::Value(ValueType::Boolean),
+            FieldKind::Value(ValueType::Double),
+            FieldKind::Ref,
+            FieldKind::Value(ValueType::Long),
+            FieldKind::Value(ValueType::Int),
+            FieldKind::Value(ValueType::Double),
+            FieldKind::Value(ValueType::Long),
+            FieldKind::Value(ValueType::Int),
+            FieldKind::Value(ValueType::Long),
+        ],
+    );
+    let leaf_k = b.klass("Leaf", vec![FieldKind::Value(ValueType::Long)]);
+    let arr = b.array_klass("Object[]", FieldKind::Ref);
+    let leaf = b.object(leaf_k, &[Init::Val(7)]).unwrap();
+    let mut rng = Rng::new(0xC0DE_F00D);
+    let objects: Vec<Addr> = (0..512)
+        .map(|_| {
+            b.object(
+                r,
+                &[
+                    Init::Val(rng.next_u64()),
+                    Init::Val(rng.next_u64() & 0xffff_ffff),
+                    Init::Val(rng.next_u64() & 0xffff),
+                    Init::Val(rng.next_u64() & 0xff),
+                    Init::Val(rng.next_u64() & 1),
+                    Init::Val(f64::to_bits(rng.next_u64() as f64)),
+                    Init::Ref(leaf),
+                    Init::Val(rng.next_u64()),
+                    Init::Val(rng.next_u64() & 0xffff_ffff),
+                    Init::Val(f64::to_bits(0.5)),
+                    Init::Val(rng.next_u64()),
+                    Init::Val(rng.next_u64() & 0xffff_ffff),
+                    Init::Val(rng.next_u64()),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let root = b.ref_array(arr, &objects).unwrap();
+    let (heap, reg) = b.finish();
+    (heap, reg, root)
+}
+
+/// Interpretive vs compiled-plan execution per software backend, on the
+/// plan stress graph. Streams are asserted byte-identical before any
+/// timing; both modes then run `iters` serializations and
+/// deserializations, best of `reps`.
+fn compiled_plan_bench(iters: usize, reps: usize) -> Vec<PlanPerf> {
+    let (mut heap, reg, root) = plan_bench_graph();
+    let cap = heap.capacity_bytes();
+    let modes: Vec<(Box<dyn Serializer>, Box<dyn Serializer>)> = vec![
+        (
+            Box::new(JavaSd::interpretive()),
+            Box::new(JavaSd::with_compiled_plans(true)),
+        ),
+        (
+            Box::new(Kryo::interpretive()),
+            Box::new(Kryo::with_compiled_plans(true)),
+        ),
+        (
+            Box::new(ProtoLike::interpretive()),
+            Box::new(ProtoLike::with_compiled_plans(true)),
+        ),
+        (
+            Box::new(JsonLike::interpretive()),
+            Box::new(JsonLike::with_compiled_plans(true)),
+        ),
+    ];
+    modes
+        .iter()
+        .map(|(interp, comp)| {
+            let mut sink = NullSink;
+            let mut iout = Vec::new();
+            let mut cout = Vec::new();
+            interp
+                .serialize_into(&mut heap, &reg, root, &mut sink, &mut iout)
+                .expect("serialize");
+            comp.serialize_into(&mut heap, &reg, root, &mut sink, &mut cout)
+                .expect("serialize");
+            assert_eq!(
+                iout,
+                cout,
+                "{}: compiled stream must be byte-identical",
+                interp.name()
+            );
+
+            let mut time_ser = |ser: &dyn Serializer| {
+                let mut out = Vec::new();
+                best_of(reps, || {
+                    for _ in 0..iters {
+                        ser.serialize_into(&mut heap, &reg, root, &mut sink, &mut out)
+                            .expect("serialize");
+                    }
+                    black_box(&out);
+                })
+                .0
+            };
+            let interp_ser_ms = time_ser(interp.as_ref());
+            let compiled_ser_ms = time_ser(comp.as_ref());
+
+            let mut time_de = |ser: &dyn Serializer| {
+                best_of(reps, || {
+                    for _ in 0..iters {
+                        let mut dst = Heap::with_base(Addr(DST_BASE), cap);
+                        ser.deserialize(&iout, &reg, &mut dst, &mut sink)
+                            .expect("deserialize");
+                        black_box(&dst);
+                    }
+                })
+                .0
+            };
+            let interp_de_ms = time_de(interp.as_ref());
+            let compiled_de_ms = time_de(comp.as_ref());
+
+            PlanPerf {
+                name: interp.name().to_string(),
+                iters,
+                interp_ser_ms,
+                compiled_ser_ms,
+                interp_de_ms,
+                compiled_de_ms,
+                stream_bytes: iout.len(),
+            }
+        })
+        .collect()
+}
+
 struct AccelPerf {
     bench: &'static str,
     wall_ms: f64,
@@ -310,74 +473,15 @@ fn accel_sim() -> AccelPerf {
     }
 }
 
-struct ArenaPerf {
-    bench: &'static str,
-    iters: usize,
-    per_vec_ms: f64,
-    arena_ms: f64,
-    sim_busy_ns: f64,
-    stream_bytes: usize,
-}
+/// Number of `--bin all` experiment units (six micro + six JSBS measured
+/// runs + six Spark apps).
+const FANOUT_UNITS: usize = 6 + jsbs_suite::MEASURED_UNITS + 6;
 
-impl ArenaPerf {
-    fn speedup(&self) -> f64 {
-        self.per_vec_ms / self.arena_ms
-    }
-}
-
-/// Accelerator serialization with a per-request `Vec` (`serialize`)
-/// vs a caller-reused arena (`serialize_into`), `iters` requests each
-/// on fresh accelerators. The streams must match byte-for-byte and the
-/// simulated busy nanoseconds must be identical — the arena is a host
-/// allocation optimization, invisible to the model.
-fn accel_arena(iters: usize) -> ArenaPerf {
-    let bench = MicroBench::ListSmall;
-    let (mut heap, reg, root) = bench.build(Scale::Tiny);
-
-    let mut per_vec = cereal::Accelerator::new(CerealConfig::paper());
-    per_vec.register_all(&reg).expect("register classes");
-    let t0 = Instant::now();
-    let mut last_owned = Vec::new();
-    for _ in 0..iters {
-        last_owned = per_vec.serialize(&mut heap, &reg, root).expect("serialize").bytes;
-        black_box(&last_owned);
-    }
-    let per_vec_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-    let mut arena_accel = cereal::Accelerator::new(CerealConfig::paper());
-    arena_accel.register_all(&reg).expect("register classes");
-    let mut arena = Vec::new();
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        arena_accel
-            .serialize_into(&mut heap, &reg, root, &mut arena)
-            .expect("serialize");
-        black_box(&arena);
-    }
-    let arena_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-    assert_eq!(arena, last_owned, "arena stream must match the owned stream");
-    let busy = per_vec.report().su_busy_ns;
-    assert_eq!(
-        busy.to_bits(),
-        arena_accel.report().su_busy_ns.to_bits(),
-        "arena path must not move simulated time"
-    );
-    ArenaPerf {
-        bench: bench.name(),
-        iters,
-        per_vec_ms,
-        arena_ms,
-        sim_busy_ns: busy,
-        stream_bytes: arena.len(),
-    }
-}
-
-/// Runs the eight `--bin all` experiment units (six micro + JSBS +
-/// Spark, all at Tiny scale) on `jobs` worker threads; returns the
-/// wall-clock milliseconds.
+/// Runs the eighteen `--bin all` experiment units at Tiny scale on
+/// `jobs` worker threads; returns the wall-clock milliseconds.
 fn run_units(jobs: usize) -> f64 {
     let benches = MicroBench::all();
+    let apps = SparkApp::all();
     let next = AtomicUsize::new(0);
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -388,11 +492,11 @@ fn run_units(jobs: usize) -> f64 {
                     0..=5 => {
                         black_box(micro_suite::run_one(benches[unit], Scale::Tiny));
                     }
-                    6 => {
-                        black_box(jsbs_suite::run());
+                    6..=11 => {
+                        black_box(jsbs_suite::run_measured(unit - 6));
                     }
-                    7 => {
-                        black_box(spark_suite::run(SparkScale::Tiny));
+                    12..=17 => {
+                        black_box(spark_suite::run_one(apps[unit - 12], SparkScale::Tiny));
                     }
                     _ => break,
                 }
@@ -410,7 +514,7 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let par_jobs = cores.clamp(1, 8);
+    let par_jobs = cores.clamp(1, FANOUT_UNITS);
 
     eprintln!("pack/unpack kernel ({kernel_n} values, best of {kernel_reps})...");
     let kernel = kernel_bench(kernel_n, kernel_reps);
@@ -448,6 +552,23 @@ fn main() {
         );
     }
 
+    let (plan_iters, plan_reps) = if smoke { (4, 3) } else { (32, 5) };
+    eprintln!("compiled plans ({plan_iters} iterations, best of {plan_reps}, interpretive vs compiled)...");
+    let plans = compiled_plan_bench(plan_iters, plan_reps);
+    for p in &plans {
+        eprintln!(
+            "  {:<10} ser {:.3} -> {:.3} ms ({:.2}x), de {:.3} -> {:.3} ms ({:.2}x), {} B/stream identical",
+            p.name,
+            p.interp_ser_ms,
+            p.compiled_ser_ms,
+            p.ser_speedup(),
+            p.interp_de_ms,
+            p.compiled_de_ms,
+            p.de_speedup(),
+            p.stream_bytes
+        );
+    }
+
     eprintln!("accelerator simulation run...");
     let accel = accel_sim();
     eprintln!(
@@ -455,20 +576,10 @@ fn main() {
         accel.bench, accel.wall_ms, accel.sim_ser_ns, accel.sim_de_ns
     );
 
-    let arena_iters = if smoke { 32 } else { 512 };
-    eprintln!("accelerator arena ({arena_iters} serializations, per-request Vec vs reused arena)...");
-    let arena = accel_arena(arena_iters);
     eprintln!(
-        "  {} per-vec {:.3} ms / arena {:.3} ms = {:.2}x ({} B/stream, busy {:.1} ns unchanged)",
-        arena.bench,
-        arena.per_vec_ms,
-        arena.arena_ms,
-        arena.speedup(),
-        arena.stream_bytes,
-        arena.sim_busy_ns
+        "experiment fan-out ({FANOUT_UNITS} units, 1 vs {par_jobs} worker(s), \
+         best of {fanout_reps})..."
     );
-
-    eprintln!("experiment fan-out (8 units, 1 vs {par_jobs} worker(s), best of {fanout_reps})...");
     let (seq_ms, ()) = best_of(fanout_reps, || {
         run_units(1);
     });
@@ -490,6 +601,27 @@ fn main() {
             s.name, s.iters, s.ser_ms, s.de_ms, s.stream_bytes
         ));
     }
+    let mut plans_json = String::new();
+    for (i, p) in plans.iter().enumerate() {
+        if i > 0 {
+            plans_json.push_str(",\n");
+        }
+        plans_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \
+             \"interp_ser_ms\": {:.3}, \"compiled_ser_ms\": {:.3}, \"ser_speedup\": {:.2}, \
+             \"interp_de_ms\": {:.3}, \"compiled_de_ms\": {:.3}, \"de_speedup\": {:.2}, \
+             \"stream_bytes\": {}, \"streams_identical\": true}}",
+            p.name,
+            p.iters,
+            p.interp_ser_ms,
+            p.compiled_ser_ms,
+            p.ser_speedup(),
+            p.interp_de_ms,
+            p.compiled_de_ms,
+            p.de_speedup(),
+            p.stream_bytes
+        ));
+    }
     let json = format!(
         "{{\n\
          \x20 \"generated_by\": \"cereal-bench --bin perf\",\n\
@@ -507,18 +639,13 @@ fn main() {
          \x20   \"boundaries_identical\": true\n\
          \x20 }},\n\
          \x20 \"serializers\": [\n{sj}\n\x20 ],\n\
+         \x20 \"compiled_plans\": [\n{plj}\n\x20 ],\n\
          \x20 \"accel_sim\": {{\n\
          \x20   \"bench\": \"{ab}\", \"wall_ms\": {aw:.3},\n\
          \x20   \"sim_ser_ns\": {asn:.3}, \"sim_de_ns\": {adn:.3}, \"stream_bytes\": {asb}\n\
          \x20 }},\n\
-         \x20 \"accel_arena\": {{\n\
-         \x20   \"bench\": \"{arb}\", \"iters\": {ari},\n\
-         \x20   \"per_vec_ms\": {arp:.3}, \"arena_ms\": {ara:.3}, \"speedup\": {ars:.2},\n\
-         \x20   \"sim_busy_ns\": {arn:.3}, \"stream_bytes\": {arsb},\n\
-         \x20   \"streams_identical\": true, \"sim_time_identical\": true\n\
-         \x20 }},\n\
          \x20 \"fanout\": {{\n\
-         \x20   \"units\": 8, \"seq_jobs\": 1, \"par_jobs\": {pj},\n\
+         \x20   \"units\": {fnu}, \"seq_jobs\": 1, \"par_jobs\": {pj},\n\
          \x20   \"seq_ms\": {sm:.1}, \"par_ms\": {pm:.1}, \"speedup\": {fs:.2}\n\
          \x20 }}\n\
          }}\n",
@@ -538,18 +665,13 @@ fn main() {
         ef = endmap.fast_ms,
         es = endmap.speedup(),
         sj = sers_json,
+        plj = plans_json,
         ab = accel.bench,
         aw = accel.wall_ms,
         asn = accel.sim_ser_ns,
         adn = accel.sim_de_ns,
         asb = accel.stream_bytes,
-        arb = arena.bench,
-        ari = arena.iters,
-        arp = arena.per_vec_ms,
-        ara = arena.arena_ms,
-        ars = arena.speedup(),
-        arn = arena.sim_busy_ns,
-        arsb = arena.stream_bytes,
+        fnu = FANOUT_UNITS,
         pj = par_jobs,
         sm = seq_ms,
         pm = par_ms,

@@ -32,16 +32,44 @@ pub struct JsbsResult {
     pub cereal: SdMeasure,
 }
 
-/// Runs the suite.
-pub fn run() -> JsbsResult {
+/// Number of independently schedulable measured runs: the five software
+/// serializers plus Cereal. Each builds its own deterministic
+/// media-content heap, so the units can run on any worker in any order
+/// without changing a measurement.
+pub const MEASURED_UNITS: usize = 6;
+
+/// Runs measured unit `unit` (see [`MEASURED_UNITS`]) on a private heap.
+///
+/// The builder is seed-fixed, object graphs get identical layouts and
+/// identity hashes in every heap, and the software serializers do not
+/// write to the source heap — so per-unit heaps measure exactly what the
+/// old single-heap sequential pass measured.
+pub fn run_measured(unit: usize) -> SdMeasure {
     let (mut heap, reg, root) = media_content();
     let roots = repeat_root(root, REPS);
-    let java = run_software(&serializers::JavaSd::new(), &mut heap, &reg, &roots);
-    let kryo = run_software(&serializers::Kryo::new(), &mut heap, &reg, &roots);
-    let skyway = run_software(&serializers::Skyway::new(), &mut heap, &reg, &roots);
-    let json = run_software(&serializers::JsonLike::new(), &mut heap, &reg, &roots);
-    let proto = run_software(&serializers::ProtoLike::new(), &mut heap, &reg, &roots);
-    let cereal = run_cereal(CerealConfig::paper(), &mut heap, &reg, &roots);
+    match unit {
+        0 => run_software(&serializers::JavaSd::new(), &mut heap, &reg, &roots),
+        1 => run_software(&serializers::Kryo::new(), &mut heap, &reg, &roots),
+        2 => run_software(&serializers::Skyway::new(), &mut heap, &reg, &roots),
+        3 => run_software(&serializers::JsonLike::new(), &mut heap, &reg, &roots),
+        4 => run_software(&serializers::ProtoLike::new(), &mut heap, &reg, &roots),
+        5 => run_cereal(CerealConfig::paper(), &mut heap, &reg, &roots),
+        _ => panic!("JSBS has {MEASURED_UNITS} measured units, got {unit}"),
+    }
+}
+
+/// Derives the full 88-library suite outcome from the six measured runs
+/// (in [`run_measured`] unit order).
+pub fn assemble(measures: &[SdMeasure]) -> JsbsResult {
+    assert_eq!(measures.len(), MEASURED_UNITS, "one measure per unit");
+    let (java, kryo, skyway, json, proto, cereal) = (
+        &measures[0],
+        &measures[1],
+        &measures[2],
+        &measures[3],
+        &measures[4],
+        measures[5].clone(),
+    );
 
     let per_obj = |m: &SdMeasure| m.bytes / REPS as u64;
     let measured_entry = |lib: &workloads::LibraryProfile, m: &SdMeasure| JsbsEntry {
@@ -54,23 +82,30 @@ pub fn run() -> JsbsResult {
     let mut libraries = Vec::new();
     for lib in catalog() {
         let entry = match (lib.class, lib.name.as_str()) {
-            (LibClass::Implemented, "java-built-in") => measured_entry(&lib, &java),
-            (LibClass::Implemented, "kryo") => measured_entry(&lib, &kryo),
-            (LibClass::Implemented, "skyway") => measured_entry(&lib, &skyway),
-            (LibClass::Implemented, "json-gson-like") => measured_entry(&lib, &json),
-            (LibClass::Implemented, _) => measured_entry(&lib, &proto),
+            (LibClass::Implemented, "java-built-in") => measured_entry(&lib, java),
+            (LibClass::Implemented, "kryo") => measured_entry(&lib, kryo),
+            (LibClass::Implemented, "skyway") => measured_entry(&lib, skyway),
+            (LibClass::Implemented, "json-gson-like") => measured_entry(&lib, json),
+            (LibClass::Implemented, _) => measured_entry(&lib, proto),
             _ => JsbsEntry {
                 name: lib.name,
                 class: lib.class,
                 // Modeled: factors are relative to the measured Java run.
                 sd_ns: java.ser_ns * lib.ser_rel + java.de_ns * lib.de_rel,
-                size: (per_obj(&java) as f64 * lib.size_rel) as u64,
+                size: (per_obj(java) as f64 * lib.size_rel) as u64,
                 measured: false,
             },
         };
         libraries.push(entry);
     }
     JsbsResult { libraries, cereal }
+}
+
+/// Runs the suite sequentially (fan-out callers schedule
+/// [`run_measured`] units themselves and [`assemble`] the result).
+pub fn run() -> JsbsResult {
+    let measures: Vec<SdMeasure> = (0..MEASURED_UNITS).map(run_measured).collect();
+    assemble(&measures)
 }
 
 impl JsbsResult {

@@ -28,36 +28,37 @@ pub struct SparkResult {
     pub format_sizes: (u64, u64, u64),
 }
 
+/// Runs one application at `scale` on its own dataset — the unit of
+/// fan-out scheduling (each app builds a private heap, so apps can run
+/// on any worker in any order).
+pub fn run_one(app: SparkApp, scale: SparkScale) -> SparkResult {
+    let mut ds = app.build(scale);
+    let roots = ds.batches.clone();
+    let java = run_software(&serializers::JavaSd::new(), &mut ds.heap, &ds.reg, &roots);
+    let kryo = run_software(&serializers::Kryo::new(), &mut ds.heap, &ds.reg, &roots);
+    let cereal = run_cereal(CerealConfig::paper(), &mut ds.heap, &ds.reg, &roots);
+
+    let java_run = phases::java_run(app, java.sd_ns(), java.bytes);
+    let kryo_run = phases::swapped_run(&java_run, kryo.sd_ns(), kryo.bytes, java.bytes);
+    let cereal_run = phases::swapped_run(&java_run, cereal.sd_ns(), cereal.bytes, java.bytes);
+
+    let format_sizes = format_sizes(&mut ds, &roots);
+
+    SparkResult {
+        app,
+        java,
+        kryo,
+        cereal,
+        java_run,
+        kryo_run,
+        cereal_run,
+        format_sizes,
+    }
+}
+
 /// Runs the full application suite at `scale`.
 pub fn run(scale: SparkScale) -> Vec<SparkResult> {
-    SparkApp::all()
-        .iter()
-        .map(|&app| {
-            let mut ds = app.build(scale);
-            let roots = ds.batches.clone();
-            let java = run_software(&serializers::JavaSd::new(), &mut ds.heap, &ds.reg, &roots);
-            let kryo = run_software(&serializers::Kryo::new(), &mut ds.heap, &ds.reg, &roots);
-            let cereal = run_cereal(CerealConfig::paper(), &mut ds.heap, &ds.reg, &roots);
-
-            let java_run = phases::java_run(app, java.sd_ns(), java.bytes);
-            let kryo_run = phases::swapped_run(&java_run, kryo.sd_ns(), kryo.bytes, java.bytes);
-            let cereal_run =
-                phases::swapped_run(&java_run, cereal.sd_ns(), cereal.bytes, java.bytes);
-
-            let format_sizes = format_sizes(&mut ds, &roots);
-
-            SparkResult {
-                app,
-                java,
-                kryo,
-                cereal,
-                java_run,
-                kryo_run,
-                cereal_run,
-                format_sizes,
-            }
-        })
-        .collect()
+    SparkApp::all().iter().map(|&app| run_one(app, scale)).collect()
 }
 
 /// Computes (packed, unpacked-baseline, packed+header-strip) stream sizes

@@ -55,21 +55,26 @@ pub fn reachable(heap: &Heap, reg: &KlassRegistry, root: Addr, order: Reachable)
     }
 }
 
+// Explicit-stack preorder: children pushed in reverse field order and
+// the visited check done at pop time reproduce the recursive preorder
+// exactly (including on shared/cyclic structure), without call-stack
+// depth proportional to the graph — a scaled linked list overflows a
+// worker thread's 2 MiB stack otherwise.
 fn dfs(
     heap: &Heap,
     reg: &KlassRegistry,
-    addr: Addr,
+    root: Addr,
     seen: &mut HashSet<Addr>,
     out: &mut Vec<Addr>,
 ) {
-    if !seen.insert(addr) {
-        return;
-    }
-    out.push(addr);
-    for r in heap.object(reg, addr).references() {
-        if !r.is_null() {
-            dfs(heap, reg, r, seen, out);
+    let mut stack = vec![root];
+    while let Some(addr) = stack.pop() {
+        if !seen.insert(addr) {
+            continue;
         }
+        out.push(addr);
+        let refs = heap.object(reg, addr).references();
+        stack.extend(refs.iter().rev().filter(|r| !r.is_null()));
     }
 }
 

@@ -296,6 +296,38 @@ impl Heap {
         self.set_field(addr, i, target.get());
     }
 
+    /// Slice over declared fields `first..first + len` of the instance at
+    /// `addr` — the batched read the compiled-plan run interpreters use,
+    /// with one bounds check per run instead of one per field.
+    #[inline]
+    pub fn field_words(&self, addr: Addr, first: usize, len: usize) -> &[u64] {
+        let i = self.index_of(addr.add_words((HEADER_WORDS + first) as u64));
+        &self.words[i..i + len]
+    }
+
+    /// Mutable slice over declared fields `first..first + len` of the
+    /// instance at `addr`.
+    #[inline]
+    pub fn field_words_mut(&mut self, addr: Addr, first: usize, len: usize) -> &mut [u64] {
+        let i = self.index_of(addr.add_words((HEADER_WORDS + first) as u64));
+        &mut self.words[i..i + len]
+    }
+
+    /// Slice over elements `first..first + len` of the array at `addr`.
+    #[inline]
+    pub fn array_words_slice(&self, addr: Addr, first: usize, len: usize) -> &[u64] {
+        let i = self.index_of(addr.add_words((HEADER_WORDS + 1 + first) as u64));
+        &self.words[i..i + len]
+    }
+
+    /// Mutable slice over elements `first..first + len` of the array at
+    /// `addr`.
+    #[inline]
+    pub fn array_words_slice_mut(&mut self, addr: Addr, first: usize, len: usize) -> &mut [u64] {
+        let i = self.index_of(addr.add_words((HEADER_WORDS + 1 + first) as u64));
+        &mut self.words[i..i + len]
+    }
+
     /// Length of the array object at `addr`.
     #[inline]
     pub fn array_len(&self, addr: Addr) -> usize {
@@ -407,6 +439,26 @@ mod tests {
         assert_eq!(heap.field(a, 0), 99);
         assert_eq!(heap.ref_field(a, 1), Some(b));
         assert_eq!(heap.ref_field(b, 1), None);
+    }
+
+    #[test]
+    fn field_and_array_slices_match_scalar_access() {
+        let (reg, node, arr) = registry();
+        let mut heap = Heap::new(4096);
+        let a = heap.alloc(&reg, node).unwrap();
+        heap.set_field(a, 0, 11);
+        heap.set_field(a, 1, 22);
+        assert_eq!(heap.field_words(a, 0, 2), &[11, 22]);
+        heap.field_words_mut(a, 0, 2)[1] = 33;
+        assert_eq!(heap.field(a, 1), 33);
+
+        let v = heap.alloc_array(&reg, arr, 4).unwrap();
+        for i in 0..4 {
+            heap.set_array_elem(v, i, i as u64 + 1);
+        }
+        assert_eq!(heap.array_words_slice(v, 1, 2), &[2, 3]);
+        heap.array_words_slice_mut(v, 0, 4)[3] = 9;
+        assert_eq!(heap.array_elem(v, 3), 9);
     }
 
     #[test]

@@ -186,6 +186,31 @@ impl Klass {
             .collect()
     }
 
+    /// Maximal runs of adjacent primitive fields, as `(first_index, len)`
+    /// pairs in declaration order — the layout query plan compilers use to
+    /// turn contiguous non-reference fields into single copy runs.
+    /// Reference slots break runs; a klass with no primitive fields yields
+    /// no runs.
+    pub fn prim_runs(&self) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            match (f.kind.is_ref(), start) {
+                (false, None) => start = Some(i),
+                (false, Some(_)) => {}
+                (true, Some(s)) => {
+                    runs.push((s, i - s));
+                    start = None;
+                }
+                (true, None) => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, self.fields.len() - s));
+        }
+        runs
+    }
+
     /// Total instance size in words (header + fields) for non-array
     /// klasses.
     ///
@@ -366,6 +391,30 @@ mod tests {
         );
         assert_eq!(k.ref_offsets(), vec![4, 6]); // header is 3 words
         assert_eq!(k.instance_words(), 7);
+    }
+
+    #[test]
+    fn prim_runs_coalesce_and_split_on_refs() {
+        let k = Klass::new(
+            "K",
+            vec![
+                FieldKind::Value(ValueType::Long),
+                FieldKind::Value(ValueType::Int),
+                FieldKind::Ref,
+                FieldKind::Value(ValueType::Double),
+                FieldKind::Ref,
+                FieldKind::Ref,
+                FieldKind::Value(ValueType::Byte),
+                FieldKind::Value(ValueType::Char),
+            ],
+        );
+        assert_eq!(k.prim_runs(), vec![(0, 2), (3, 1), (6, 2)]);
+        let all_refs = Klass::new("R", vec![FieldKind::Ref; 3]);
+        assert_eq!(all_refs.prim_runs(), vec![]);
+        let all_prims = Klass::new("P", vec![FieldKind::Value(ValueType::Long); 4]);
+        assert_eq!(all_prims.prim_runs(), vec![(0, 4)]);
+        let empty = Klass::new("E", vec![]);
+        assert_eq!(empty.prim_runs(), vec![]);
     }
 
     #[test]

@@ -23,6 +23,8 @@ use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
 use sdheap::{Addr, FieldKind, Heap, KlassId, KlassRegistry, ValueType, HEADER_WORDS};
 use std::collections::HashMap;
 
+mod compiled;
+
 /// Stream magic, mirroring `java.io.ObjectStreamConstants.STREAM_MAGIC`.
 const STREAM_MAGIC: u16 = 0xaced;
 /// Stream version.
@@ -46,13 +48,39 @@ fn prim_width(vt: ValueType) -> u32 {
 }
 
 /// The Java built-in serializer.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct JavaSd;
+#[derive(Clone, Copy, Debug)]
+pub struct JavaSd {
+    /// Execute per-klass compiled field programs (`crate::plan`) instead
+    /// of walking `fields()` per object. Streams and traces are identical
+    /// either way; only host wall-clock changes.
+    compiled_plans: bool,
+}
 
 impl JavaSd {
-    /// A new instance.
+    /// A new instance with the process-wide default plan mode
+    /// (`CEREAL_COMPILED_PLANS`).
     pub fn new() -> Self {
-        JavaSd
+        JavaSd {
+            compiled_plans: crate::plan::compiled_plans_default(),
+        }
+    }
+
+    /// An instance that always walks `fields()` interpretively.
+    pub fn interpretive() -> Self {
+        JavaSd {
+            compiled_plans: false,
+        }
+    }
+
+    /// An instance with an explicit plan mode.
+    pub fn with_compiled_plans(compiled_plans: bool) -> Self {
+        JavaSd { compiled_plans }
+    }
+}
+
+impl Default for JavaSd {
+    fn default() -> Self {
+        JavaSd::new()
     }
 }
 
@@ -527,6 +555,9 @@ impl Serializer for JavaSd {
         sink: &mut dyn TraceSink,
         out: &mut Vec<u8>,
     ) -> Result<usize, SerError> {
+        if self.compiled_plans {
+            return compiled::serialize_into(heap, reg, root, sink, out);
+        }
         out.clear();
         let mut ctx = SerCtx {
             heap,
@@ -551,6 +582,9 @@ impl Serializer for JavaSd {
         dst: &mut Heap,
         sink: &mut dyn TraceSink,
     ) -> Result<Addr, SerError> {
+        if self.compiled_plans {
+            return compiled::deserialize(bytes, reg, dst, sink);
+        }
         let mut ctx = DeCtx {
             bytes,
             pos: 0,

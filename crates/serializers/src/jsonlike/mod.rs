@@ -15,19 +15,47 @@
 //! {"@c":"double[]","@id":1,"e":[1.5,-2.0]}
 //! ```
 
+mod compiled;
+
 use crate::api::{SerError, Serializer};
+use crate::plan::compiled_plans_default;
 use crate::trace::{TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE};
 use sdheap::{Addr, FieldKind, Heap, KlassRegistry, ValueType, HEADER_WORDS};
 use std::collections::HashMap;
 
 /// The JSON-like text serializer.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct JsonLike;
+#[derive(Clone, Copy, Debug)]
+pub struct JsonLike {
+    compiled_plans: bool,
+}
 
 impl JsonLike {
-    /// A new instance.
+    /// A new instance with the process-default execution mode (see
+    /// [`compiled_plans_default`]).
     pub fn new() -> Self {
-        JsonLike
+        JsonLike {
+            compiled_plans: compiled_plans_default(),
+        }
+    }
+
+    /// Field-walking reference implementation.
+    pub fn interpretive() -> Self {
+        JsonLike {
+            compiled_plans: false,
+        }
+    }
+
+    /// Selects the execution mode explicitly.
+    pub fn with_compiled_plans(compiled: bool) -> Self {
+        JsonLike {
+            compiled_plans: compiled,
+        }
+    }
+}
+
+impl Default for JsonLike {
+    fn default() -> Self {
+        JsonLike::new()
     }
 }
 
@@ -367,6 +395,22 @@ impl Serializer for JsonLike {
         root: Addr,
         sink: &mut dyn TraceSink,
     ) -> Result<Vec<u8>, SerError> {
+        let mut out = Vec::new();
+        self.serialize_into(heap, reg, root, sink, &mut out)?;
+        Ok(out)
+    }
+
+    fn serialize_into(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, SerError> {
+        if self.compiled_plans {
+            return compiled::serialize_into(heap, reg, root, sink, out);
+        }
         let mut ctx = SerCtx {
             heap,
             reg,
@@ -375,7 +419,8 @@ impl Serializer for JsonLike {
             tracer: Tracer::new(sink),
         };
         ctx.write_obj(root);
-        Ok(ctx.out.into_bytes())
+        *out = ctx.out.into_bytes();
+        Ok(out.len())
     }
 
     fn deserialize(
@@ -385,6 +430,9 @@ impl Serializer for JsonLike {
         dst: &mut Heap,
         sink: &mut dyn TraceSink,
     ) -> Result<Addr, SerError> {
+        if self.compiled_plans {
+            return compiled::deserialize(bytes, reg, dst, sink);
+        }
         let mut ctx = DeCtx {
             text: bytes,
             pos: 0,

@@ -44,16 +44,19 @@ pub mod api;
 pub mod javasd;
 pub mod jsonlike;
 pub mod kryo;
+pub mod plan;
 pub mod protolike;
 pub mod skyway;
 pub mod trace;
 
 pub use api::{SerError, Serializer};
+pub use plan::{Plan, PlanCache};
 pub use javasd::JavaSd;
 pub use jsonlike::JsonLike;
 pub use kryo::Kryo;
 pub use protolike::ProtoLike;
 pub use skyway::Skyway;
 pub use trace::{
-    BufferedSink, CountingSink, NullSink, Op, TraceSink, Tracer, IN_STREAM_BASE, OUT_STREAM_BASE,
+    BufferedSink, CountingSink, NullSink, Op, OpBuf, TraceSink, Tracer, IN_STREAM_BASE,
+    OUT_STREAM_BASE,
 };

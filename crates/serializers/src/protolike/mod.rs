@@ -22,6 +22,8 @@ use sdformat::varint::{read_varint, write_varint};
 use sdheap::{Addr, FieldKind, Heap, KlassId, KlassRegistry, ValueType, HEADER_WORDS};
 use std::collections::HashMap;
 
+mod compiled;
+
 const TAG_NULL: u8 = 0;
 const TAG_NEW: u8 = 1;
 const TAG_REF: u8 = 2;
@@ -38,13 +40,39 @@ fn unzigzag(v: u64) -> u64 {
 }
 
 /// The codegen serializer.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ProtoLike;
+#[derive(Clone, Copy, Debug)]
+pub struct ProtoLike {
+    /// Execute per-klass compiled field programs (`crate::plan`) instead
+    /// of walking `fields()` per object. Streams and traces are identical
+    /// either way; only host wall-clock changes.
+    compiled_plans: bool,
+}
 
 impl ProtoLike {
-    /// A new instance.
+    /// A new instance with the process-wide default plan mode
+    /// (`CEREAL_COMPILED_PLANS`).
     pub fn new() -> Self {
-        ProtoLike
+        ProtoLike {
+            compiled_plans: crate::plan::compiled_plans_default(),
+        }
+    }
+
+    /// An instance that always walks `fields()` interpretively.
+    pub fn interpretive() -> Self {
+        ProtoLike {
+            compiled_plans: false,
+        }
+    }
+
+    /// An instance with an explicit plan mode.
+    pub fn with_compiled_plans(compiled_plans: bool) -> Self {
+        ProtoLike { compiled_plans }
+    }
+}
+
+impl Default for ProtoLike {
+    fn default() -> Self {
+        ProtoLike::new()
     }
 }
 
@@ -355,15 +383,33 @@ impl Serializer for ProtoLike {
         root: Addr,
         sink: &mut dyn TraceSink,
     ) -> Result<Vec<u8>, SerError> {
+        let mut out = Vec::new();
+        self.serialize_into(heap, reg, root, sink, &mut out)?;
+        Ok(out)
+    }
+
+    fn serialize_into(
+        &self,
+        heap: &mut Heap,
+        reg: &KlassRegistry,
+        root: Addr,
+        sink: &mut dyn TraceSink,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, SerError> {
+        if self.compiled_plans {
+            return compiled::serialize_into(heap, reg, root, sink, out);
+        }
+        out.clear();
         let mut ctx = SerCtx {
             heap,
             reg,
-            out: Vec::new(),
+            out: std::mem::take(out),
             handles: HashMap::new(),
             tracer: Tracer::new(sink),
         };
         ctx.run(root);
-        Ok(ctx.out)
+        *out = ctx.out;
+        Ok(out.len())
     }
 
     fn deserialize(
@@ -373,6 +419,9 @@ impl Serializer for ProtoLike {
         dst: &mut Heap,
         sink: &mut dyn TraceSink,
     ) -> Result<Addr, SerError> {
+        if self.compiled_plans {
+            return compiled::deserialize(bytes, reg, dst, sink);
+        }
         let mut ctx = DeCtx {
             bytes,
             pos: 0,

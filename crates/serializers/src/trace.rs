@@ -76,6 +76,17 @@ pub trait TraceSink {
             self.op(op);
         }
     }
+
+    /// `true` if this sink provably ignores every operation
+    /// ([`NullSink`]). Batched narrators ([`OpBuf`]) consult this once
+    /// and skip op construction and delivery entirely — the observable
+    /// outcome (nothing) is identical, but the buffering work is saved.
+    /// Per-op narrators ([`Tracer`]) do not consult it: their call sites
+    /// are scattered, so a per-op branch would cost what it saves.
+    /// Default `false`.
+    fn discards_ops(&self) -> bool {
+        false
+    }
 }
 
 /// Discards every operation (functional-only runs).
@@ -84,6 +95,12 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn op(&mut self, _op: Op) {}
+
+    fn ops(&mut self, _ops: &[Op]) {}
+
+    fn discards_ops(&self) -> bool {
+        true
+    }
 }
 
 /// Counts operations by class — useful for tests and op-mix reports.
@@ -226,6 +243,120 @@ impl TraceSink for BufferedSink<'_> {
 impl Drop for BufferedSink<'_> {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+/// An op accumulator for the compiled-plan executors.
+///
+/// Unlike [`BufferedSink`] — which still costs one virtual `op` call per
+/// operation at the emission site — an `OpBuf` is a plain struct the
+/// executor owns, so every `push` is a statically dispatched `Vec` append
+/// the compiler can inline. The buffered sequence is handed to the sink in
+/// slices via [`TraceSink::ops`], which the contract guarantees is
+/// timing-identical to per-op delivery. Executors flush at dispatch
+/// boundaries (and always before returning an error) so the sink observes
+/// exactly the interpretive op sequence.
+///
+/// Because narration is centralized here, an executor built with
+/// [`OpBuf::for_sink`] against a sink whose
+/// [`TraceSink::discards_ops`] is `true` skips buffering entirely —
+/// one predictable branch per op instead of a `Vec` append — which the
+/// interpretive serializers, with narration scattered across dozens of
+/// call sites, cannot do.
+pub struct OpBuf {
+    buf: Vec<Op>,
+    enabled: bool,
+}
+
+impl Default for OpBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpBuf {
+    /// Flush threshold checked at object/element boundaries. 1024 ops is
+    /// 16 KiB — large enough to amortize the virtual `ops` call, small
+    /// enough that the buffer stays cache-resident beside the heap and
+    /// stream data the executor is actively touching.
+    pub const FLUSH_AT: usize = 1024;
+
+    /// An empty buffer with the standard capacity, always recording.
+    pub fn new() -> Self {
+        OpBuf {
+            buf: Vec::with_capacity(Self::FLUSH_AT + 64),
+            enabled: true,
+        }
+    }
+
+    /// A buffer tuned for `sink`: records unless the sink declares (via
+    /// [`TraceSink::discards_ops`]) that it drops every op anyway.
+    pub fn for_sink(sink: &dyn TraceSink) -> Self {
+        if sink.discards_ops() {
+            OpBuf {
+                buf: Vec::new(),
+                enabled: false,
+            }
+        } else {
+            Self::new()
+        }
+    }
+
+    /// Appends one op.
+    #[inline]
+    pub fn push(&mut self, op: Op) {
+        if self.enabled {
+            self.buf.push(op);
+        }
+    }
+
+    /// Independent load of `bytes` at `addr`.
+    #[inline]
+    pub fn load(&mut self, addr: u64, bytes: u32) {
+        if self.enabled {
+            self.buf.push(Op::Load {
+                addr,
+                bytes,
+                dependent: false,
+            });
+        }
+    }
+
+    /// Dependent (pointer-chased) word load.
+    #[inline]
+    pub fn load_word_dep(&mut self, addr: u64) {
+        if self.enabled {
+            self.buf.push(Op::Load {
+                addr,
+                bytes: 8,
+                dependent: true,
+            });
+        }
+    }
+
+    /// Store of `bytes` at `addr`.
+    #[inline]
+    pub fn store(&mut self, addr: u64, bytes: u32) {
+        if self.enabled {
+            self.buf.push(Op::Store { addr, bytes });
+        }
+    }
+
+    /// Delivers the buffered sequence to `sink` and clears the buffer.
+    pub fn flush(&mut self, sink: &mut dyn TraceSink) {
+        if !self.buf.is_empty() {
+            sink.ops(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Flushes only when the buffer has reached [`OpBuf::FLUSH_AT`] —
+    /// cheap enough to call once per object or array element.
+    #[inline]
+    pub fn maybe_flush(&mut self, sink: &mut dyn TraceSink) {
+        if self.buf.len() >= Self::FLUSH_AT {
+            self.flush(sink);
+        }
     }
 }
 
@@ -378,6 +509,40 @@ mod tests {
             emit(&mut b);
         } // drop flushes
         assert_eq!(direct, buffered);
+    }
+
+    #[test]
+    fn opbuf_preserves_the_op_sequence() {
+        let mut direct = CountingSink::new();
+        let mut via_buf = CountingSink::new();
+        let ops = [
+            Op::Load {
+                addr: 0x100,
+                bytes: 8,
+                dependent: true,
+            },
+            Op::Store {
+                addr: 0x200,
+                bytes: 4,
+            },
+            Op::Alu(3),
+            Op::ReflectCall,
+            Op::StrCompare(7),
+        ];
+        for &op in &ops {
+            direct.op(op);
+        }
+        let mut buf = OpBuf::new();
+        buf.load_word_dep(0x100);
+        buf.store(0x200, 4);
+        buf.push(Op::Alu(3));
+        buf.push(Op::ReflectCall);
+        buf.push(Op::StrCompare(7));
+        buf.flush(&mut via_buf);
+        assert_eq!(direct, via_buf);
+        // A flushed buffer is empty; flushing again delivers nothing.
+        buf.flush(&mut via_buf);
+        assert_eq!(direct, via_buf);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Golden cross-mode tests for the compiled-plan executors.
+//!
+//! The compiled path is a pure host-side optimization: for every backend
+//! and every graph it must produce **byte-identical streams** and an
+//! **op-for-op identical narration** to the interpretive field-walking
+//! path — including on malformed input, where both modes must fail with
+//! the same error after narrating the same op prefix. These tests pin
+//! that contract.
+
+use sdheap::builder::Init;
+use sdheap::{
+    isomorphic_with, Addr, FieldKind, GraphBuilder, Heap, IsoOptions, KlassRegistry, ValueType,
+};
+use serializers::{JavaSd, JsonLike, Kryo, Op, ProtoLike, Serializer, TraceSink};
+
+/// Records the exact op sequence (batched deliveries flatten through the
+/// default `ops` impl, so interpretive and compiled recordings compare
+/// directly).
+#[derive(Default)]
+struct RecordingSink(Vec<Op>);
+
+impl TraceSink for RecordingSink {
+    fn op(&mut self, op: Op) {
+        self.0.push(op);
+    }
+}
+
+/// Backend under test in both modes.
+fn backends() -> Vec<(&'static str, Box<dyn Serializer>, Box<dyn Serializer>)> {
+    vec![
+        (
+            "JavaSd",
+            Box::new(JavaSd::interpretive()) as Box<dyn Serializer>,
+            Box::new(JavaSd::with_compiled_plans(true)) as Box<dyn Serializer>,
+        ),
+        (
+            "Kryo",
+            Box::new(Kryo::interpretive()),
+            Box::new(Kryo::with_compiled_plans(true)),
+        ),
+        (
+            "ProtoLike",
+            Box::new(ProtoLike::interpretive()),
+            Box::new(ProtoLike::with_compiled_plans(true)),
+        ),
+        (
+            "JsonLike",
+            Box::new(JsonLike::interpretive()),
+            Box::new(JsonLike::with_compiled_plans(true)),
+        ),
+    ]
+}
+
+type Graph = (Heap, KlassRegistry, Addr);
+
+/// Mixed-width fields with interleaved refs (runs split at every ref),
+/// diamond sharing of a value array.
+fn diamond() -> Graph {
+    let mut b = GraphBuilder::new(1 << 18);
+    let m = b.klass(
+        "Mixed",
+        vec![
+            FieldKind::Value(ValueType::Long),
+            FieldKind::Value(ValueType::Int),
+            FieldKind::Value(ValueType::Char),
+            FieldKind::Value(ValueType::Byte),
+            FieldKind::Ref,
+            FieldKind::Value(ValueType::Boolean),
+            FieldKind::Value(ValueType::Double),
+            FieldKind::Ref,
+            FieldKind::Value(ValueType::Int),
+        ],
+    );
+    let d = b.array_klass("double[]", FieldKind::Value(ValueType::Double));
+    let shared = b
+        .value_array(d, &[f64::to_bits(1.5), f64::to_bits(-2.25), 0])
+        .unwrap();
+    let left = b
+        .object(
+            m,
+            &[
+                Init::Val(0x0123_4567_89ab_cdef),
+                Init::Val(0xffff_fffe),
+                Init::Val(0x41),
+                Init::Val(0x7f),
+                Init::Ref(shared),
+                Init::Val(1),
+                Init::Val(f64::to_bits(0.5)),
+                Init::Null,
+                Init::Val(42),
+            ],
+        )
+        .unwrap();
+    let root = b
+        .object(
+            m,
+            &[
+                Init::Val(1),
+                Init::Val(2),
+                Init::Val(3),
+                Init::Val(4),
+                Init::Ref(left),
+                Init::Val(0),
+                Init::Val(f64::to_bits(-3.75)),
+                Init::Ref(shared),
+                Init::Val(5),
+            ],
+        )
+        .unwrap();
+    let (heap, reg) = b.finish();
+    (heap, reg, root)
+}
+
+/// A two-node cycle (exercises the back-reference paths).
+fn cycle() -> Graph {
+    let mut b = GraphBuilder::new(1 << 16);
+    let k = b.klass(
+        "C",
+        vec![FieldKind::Value(ValueType::Long), FieldKind::Ref],
+    );
+    let a = b.object(k, &[Init::Val(1), Init::Null]).unwrap();
+    let c = b.object(k, &[Init::Val(2), Init::Ref(a)]).unwrap();
+    let (mut heap, reg) = b.finish();
+    heap.set_ref(a, 1, c);
+    (heap, reg, c)
+}
+
+/// Value arrays of every formatting class plus a ref array with nulls
+/// and sharing.
+fn arrays() -> Graph {
+    let mut b = GraphBuilder::new(1 << 18);
+    let l = b.array_klass("long[]", FieldKind::Value(ValueType::Long));
+    let d = b.array_klass("double[]", FieldKind::Value(ValueType::Double));
+    let o = b.array_klass("Object[]", FieldKind::Ref);
+    let longs = b.value_array(l, &[0, 1, u64::MAX, 300, 1 << 40]).unwrap();
+    let doubles = b
+        .value_array(d, &[f64::to_bits(0.0), f64::to_bits(6.25e3)])
+        .unwrap();
+    let empty = b.value_array(l, &[]).unwrap();
+    let root = b
+        .ref_array(o, &[longs, Addr::NULL, doubles, longs, empty])
+        .unwrap();
+    let (heap, reg) = b.finish();
+    (heap, reg, root)
+}
+
+/// A linked list deep enough to stress resumable frames but within the
+/// text parser's recursion cap.
+fn deep_list() -> Graph {
+    let mut b = GraphBuilder::new(1 << 20);
+    let k = b.klass(
+        "L",
+        vec![FieldKind::Value(ValueType::Long), FieldKind::Ref],
+    );
+    let mut head = b.object(k, &[Init::Val(0), Init::Null]).unwrap();
+    for i in 1..150u64 {
+        head = b.object(k, &[Init::Val(i), Init::Ref(head)]).unwrap();
+    }
+    let (heap, reg) = b.finish();
+    (heap, reg, head)
+}
+
+/// A registry with klasses but a null root.
+fn null_root() -> Graph {
+    let mut b = GraphBuilder::new(1 << 12);
+    b.klass("N", vec![FieldKind::Value(ValueType::Long)]);
+    let (heap, reg) = b.finish();
+    (heap, reg, Addr::NULL)
+}
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("diamond", diamond()),
+        ("cycle", cycle()),
+        ("arrays", arrays()),
+        ("deep_list", deep_list()),
+        ("null_root", null_root()),
+    ]
+}
+
+#[test]
+fn compiled_streams_and_ops_match_interpretive() {
+    for (gname, (mut heap, reg, root)) in graphs() {
+        for (bname, interp, comp) in backends() {
+            let mut isink = RecordingSink::default();
+            let mut csink = RecordingSink::default();
+            let ibytes = interp.serialize(&mut heap, &reg, root, &mut isink).unwrap();
+            let cbytes = comp.serialize(&mut heap, &reg, root, &mut csink).unwrap();
+            assert_eq!(ibytes, cbytes, "{bname}/{gname}: serialized stream differs");
+            assert_eq!(
+                isink.0, csink.0,
+                "{bname}/{gname}: serialize op sequence differs"
+            );
+
+            let mut isink = RecordingSink::default();
+            let mut csink = RecordingSink::default();
+            let mut idst = Heap::with_base(Addr(0x2_0000_0000), 1 << 20);
+            let mut cdst = Heap::with_base(Addr(0x2_0000_0000), 1 << 20);
+            let iroot = interp.deserialize(&ibytes, &reg, &mut idst, &mut isink).unwrap();
+            let croot = comp.deserialize(&cbytes, &reg, &mut cdst, &mut csink).unwrap();
+            assert_eq!(
+                isink.0, csink.0,
+                "{bname}/{gname}: deserialize op sequence differs"
+            );
+            let opts = IsoOptions {
+                check_identity_hash: false,
+            };
+            if !root.is_null() {
+                assert!(
+                    isomorphic_with(&heap, &reg, root, &cdst, croot, opts),
+                    "{bname}/{gname}: compiled round trip not isomorphic"
+                );
+                assert!(
+                    isomorphic_with(&idst, &reg, iroot, &cdst, croot, opts),
+                    "{bname}/{gname}: modes deserialized different graphs"
+                );
+            } else {
+                assert!(iroot.is_null() && croot.is_null(), "{bname}/{gname}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_serialize_into_reuses_buffer() {
+    let (mut heap, reg, root) = diamond();
+    for (bname, _, comp) in backends() {
+        let expect = comp
+            .serialize(&mut heap, &reg, root, &mut serializers::NullSink)
+            .unwrap();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let n = comp
+                .serialize_into(&mut heap, &reg, root, &mut serializers::NullSink, &mut out)
+                .unwrap();
+            assert_eq!(n, expect.len(), "{bname}: serialize_into length");
+            assert_eq!(out, expect, "{bname}: serialize_into bytes");
+        }
+    }
+}
+
+/// Truncated input must fail identically in both modes: same error, same
+/// narrated op prefix. This pins the compiled fast paths' fallback when a
+/// whole-run bounds check fails.
+#[test]
+fn truncated_streams_error_identically() {
+    let (mut heap, reg, root) = diamond();
+    for (bname, interp, comp) in backends() {
+        let bytes = interp
+            .serialize(&mut heap, &reg, root, &mut serializers::NullSink)
+            .unwrap();
+        // Cut inside the header, inside field data, and one byte short.
+        for cut in [1usize, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            let cut_bytes = &bytes[..cut];
+            let mut isink = RecordingSink::default();
+            let mut csink = RecordingSink::default();
+            let mut idst = Heap::with_base(Addr(0x2_0000_0000), 1 << 20);
+            let mut cdst = Heap::with_base(Addr(0x2_0000_0000), 1 << 20);
+            let ierr = interp
+                .deserialize(cut_bytes, &reg, &mut idst, &mut isink)
+                .unwrap_err();
+            let cerr = comp
+                .deserialize(cut_bytes, &reg, &mut cdst, &mut csink)
+                .unwrap_err();
+            assert_eq!(
+                format!("{ierr:?}"),
+                format!("{cerr:?}"),
+                "{bname} cut={cut}: errors differ"
+            );
+            assert_eq!(
+                isink.0, csink.0,
+                "{bname} cut={cut}: error-path op sequences differ"
+            );
+        }
+    }
+}

@@ -19,6 +19,17 @@ cargo test -q --workspace $CARGO_FLAGS
 echo "== perf smoke =="
 cargo run --release -p cereal-bench --bin perf $CARGO_FLAGS -- --smoke
 
+echo "== compiled-plan determinism (shuffle smoke, interpretive vs compiled) =="
+# Compiled plans may only change wall-clock: the serialized streams and
+# the narrated op sequences are contractually identical, so every
+# sim-derived report byte must match between the two modes.
+CEREAL_COMPILED_PLANS=0 cargo run --release -p cereal-bench --bin shuffle $CARGO_FLAGS -- \
+  --smoke --jobs 1 --out target/shuffle_interp.json
+CEREAL_COMPILED_PLANS=1 cargo run --release -p cereal-bench --bin shuffle $CARGO_FLAGS -- \
+  --smoke --jobs 1 --out target/shuffle_compiled.json
+cmp target/shuffle_interp.json target/shuffle_compiled.json \
+  || { echo "shuffle report differs between interpretive and compiled plans"; exit 1; }
+
 echo "== shuffle smoke + thread-count determinism =="
 cargo run --release -p cereal-bench --bin shuffle $CARGO_FLAGS -- \
   --smoke --jobs 1 --out target/shuffle_jobs1.json
