@@ -115,7 +115,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_FAULTS.json".to_string());
 
     let rates: &[f64] = if smoke { &[0.0, 0.05] } else { &[0.0, 0.01, 0.05, 0.15] };
-    let backends = [Backend::Kryo, Backend::Cereal];
+    let backends = [Backend::Kryo, Backend::Archive, Backend::Cereal];
 
     // ---- Shuffle sweep -------------------------------------------------
     // Checksummed frames throughout (wire corruption must be

@@ -86,7 +86,7 @@ fn main() {
         checksum: false,
         fault: None,
     };
-    let backends = [Backend::Java, Backend::Kryo, Backend::Skyway, Backend::Cereal];
+    let backends = [Backend::Java, Backend::Kryo, Backend::Skyway, Backend::Archive, Backend::Cereal];
     let fractions = [0.25, 0.5, 1.0];
     eprintln!(
         "store: {partitions} partitions x {records} records, {passes} passes, {jobs} jobs"

@@ -60,7 +60,9 @@ pub fn rdd_cfg(jobs: usize) -> RddConfig {
             seed: 0x5EED_B10C,
             skew: workloads::KeySkew::Uniform,
         },
-        backend: store::Backend::Kryo,
+        // The zero-copy backend: re-read passes charge validate-only
+        // decode while the spans/counters still reconcile exactly.
+        backend: store::Backend::Archive,
         memory_fraction: 0.4,
         passes: 3,
         policy: MissPolicy::Auto,

@@ -11,6 +11,7 @@
 //! | [`Skyway`] | automatic integer type IDs | none — raw copy | whole objects, relative refs |
 //! | [`JsonLike`] | class/field names **as text** | text formatting/parsing | human-readable JSON |
 //! | [`ProtoLike`] | schema tags (codegen) | inlined generated code | zigzag varints |
+//! | [`Archive`] | integer klass tags | none — validate in place | relative-offset records, zero-copy reads |
 //!
 //! All three implement the common [`Serializer`] trait, really produce and
 //! parse bytes (every graph round-trips through
@@ -41,6 +42,7 @@
 //! ```
 
 pub mod api;
+pub mod archive;
 pub mod javasd;
 pub mod jsonlike;
 pub mod kryo;
@@ -50,6 +52,7 @@ pub mod skyway;
 pub mod trace;
 
 pub use api::{SerError, Serializer};
+pub use archive::{fold_words_heap, Archive, ArchiveError, ArchiveView};
 pub use plan::{Plan, PlanCache};
 pub use javasd::JavaSd;
 pub use jsonlike::JsonLike;

@@ -4,7 +4,7 @@ use crate::exec::Message;
 use crate::faults::{Attempt, MsgPlan, ShuffleError};
 use sdheap::{Addr, KlassRegistry};
 use std::collections::BTreeMap;
-use store::{Backend, Engine, EngineError};
+use store::{validate_archive_sunk, Backend, Engine, EngineError};
 use telemetry::ids::{REDUCER_PID_BASE, T_MAIN, T_NIC};
 use telemetry::{NoopSink, Sink};
 
@@ -27,8 +27,10 @@ pub struct ReduceOutcome {
 
 /// Runs one reduce executor over its incoming messages, which must be
 /// sorted by `(src, seq)` — the service's deterministic delivery order.
-/// Each message is reconstructed into a fresh destination heap and its
-/// records folded in array order, so for any one key the values
+/// Each message is reconstructed into a fresh destination heap
+/// ([`Backend::Archive`] batches skip reconstruction: the image is
+/// validated once and folded in place) and its records folded in array
+/// order, so for any one key the values
 /// accumulate in `(mapper, generation)` order: exactly the order
 /// [`workloads::AggConfig::expected_fold`] uses, making the sums
 /// bit-identical.
@@ -126,22 +128,48 @@ pub fn run_reducer_sunk<S: Sink>(
                 }
             }
         }
-        let (heap, root, ns) = engine.try_deserialize_sunk(&msg.bytes, reg, capacity, checksum, sink)?;
-        let n = heap.array_len(root);
-        if n as u64 != msg.records {
-            return Err(ShuffleError::BadBatch { src: msg.src, dst: msg.dst, seq: msg.seq });
-        }
+        let bad_batch = || ShuffleError::BadBatch { src: msg.src, dst: msg.dst, seq: msg.seq };
+        let (n, ns) = if msg.backend == Backend::Archive {
+            // Zero-copy path: validate the image once and fold straight
+            // off the wire bytes — no destination heap is ever built.
+            // The fold visits the same records in the same array order
+            // as the reconstructing path below, so the sums are
+            // bit-identical (the suite cross-checks every backend).
+            let (view, ns) = validate_archive_sunk(&msg.bytes, reg, checksum, sink)?;
+            let root = view.root().ok_or_else(bad_batch)?;
+            let n = view.array_len(root);
+            if n as u64 != msg.records {
+                return Err(bad_batch());
+            }
+            for j in 0..n {
+                let rec = view.array_elem_ref(root, j).ok_or_else(bad_batch)?;
+                let key = view.field(rec, 0);
+                let value = f64::from_bits(view.field(rec, 1));
+                let e = out.fold.entry(key).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += value;
+            }
+            (n, ns)
+        } else {
+            let (heap, root, ns) =
+                engine.try_deserialize_sunk(&msg.bytes, reg, capacity, checksum, sink)?;
+            let n = heap.array_len(root);
+            if n as u64 != msg.records {
+                return Err(bad_batch());
+            }
+            for j in 0..n {
+                let rec = Addr(heap.array_elem(root, j));
+                let key = heap.field(rec, 0);
+                let value = f64::from_bits(heap.field(rec, 1));
+                let e = out.fold.entry(key).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += value;
+            }
+            (n, ns)
+        };
         if S::ENABLED {
             sink.count("shuffle.records", n as u64);
             sink.observe("shuffle.de_busy_ns", ns);
-        }
-        for j in 0..n {
-            let rec = Addr(heap.array_elem(root, j));
-            let key = heap.field(rec, 0);
-            let value = f64::from_bits(heap.field(rec, 1));
-            let e = out.fold.entry(key).or_insert((0, 0.0));
-            e.0 += 1;
-            e.1 += value;
         }
         out.records += n as u64;
         out.de_busy_ns += ns;

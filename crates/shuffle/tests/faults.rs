@@ -187,7 +187,7 @@ fn every_backend_recovers_the_exact_fold_under_uniform_faults() {
     cfg.checksum = true;
     cfg.faults = Some(FaultSpec::uniform(0.25, 0xFA17_0006));
     // run_suite cross-checks the folds; also pin them to the dataset.
-    let report = run_suite(&cfg, &Backend::all()).unwrap();
+    let report = run_suite(&cfg, Backend::all()).unwrap();
     for b in &report.backends {
         assert_eq!(b.records, (3 * 96) as u64, "{} lost records", b.name);
     }

@@ -45,7 +45,7 @@ fn fold_matches_the_datasets_expected_aggregate() {
 #[test]
 fn all_backends_agree_on_the_aggregate() {
     // run_suite errors on disagreement; also check the checksums match.
-    let report = run_suite(&tiny(), &Backend::all()).unwrap();
+    let report = run_suite(&tiny(), Backend::all()).unwrap();
     let first = report.backends[0].fold_checksum;
     for b in &report.backends {
         assert_eq!(b.fold_checksum, first, "{} diverged", b.name);

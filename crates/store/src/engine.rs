@@ -18,7 +18,9 @@
 use cereal::Accelerator;
 use sdformat::frame;
 use sdheap::{Addr, Heap, KlassRegistry};
-use serializers::{JavaSd, JsonLike, Kryo, ProtoLike, SerError, Serializer, Skyway};
+use serializers::{
+    Archive, ArchiveView, JavaSd, JsonLike, Kryo, ProtoLike, SerError, Serializer, Skyway,
+};
 use sim::Cpu;
 use std::fmt;
 use telemetry::{NoopSink, Sink};
@@ -66,21 +68,31 @@ pub enum Backend {
     JsonLike,
     /// Protobuf-like model.
     ProtoLike,
+    /// Zero-copy archive: deserialize = validate in place, fold off the
+    /// wire bytes (the software rival to the Cereal DU).
+    Archive,
     /// The Cereal accelerator (Table I configuration).
     Cereal,
 }
 
 impl Backend {
+    /// Every backend, software baselines first, the accelerator last.
+    /// This is the single roster site: adding a variant means extending
+    /// this slice (plus the `name`/`Engine::new` match arms the compiler
+    /// then points at).
+    pub const ALL: &'static [Backend] = &[
+        Backend::Java,
+        Backend::Kryo,
+        Backend::Skyway,
+        Backend::JsonLike,
+        Backend::ProtoLike,
+        Backend::Archive,
+        Backend::Cereal,
+    ];
+
     /// All backends, software baselines first.
-    pub fn all() -> [Backend; 6] {
-        [
-            Backend::Java,
-            Backend::Kryo,
-            Backend::Skyway,
-            Backend::JsonLike,
-            Backend::ProtoLike,
-            Backend::Cereal,
-        ]
+    pub fn all() -> &'static [Backend] {
+        Backend::ALL
     }
 
     /// Display name (matching the figure harness).
@@ -91,6 +103,7 @@ impl Backend {
             Backend::Skyway => "Skyway",
             Backend::JsonLike => "JsonLike",
             Backend::ProtoLike => "ProtoLike",
+            Backend::Archive => "Archive",
             Backend::Cereal => "Cereal",
         }
     }
@@ -164,6 +177,7 @@ impl Engine {
             Backend::Skyway => Engine::Software(Box::new(Skyway::new())),
             Backend::JsonLike => Engine::Software(Box::new(JsonLike::new())),
             Backend::ProtoLike => Engine::Software(Box::new(ProtoLike::new())),
+            Backend::Archive => Engine::Software(Box::new(Archive::new())),
             Backend::Cereal => {
                 let mut accel = Accelerator::paper();
                 accel.register_all(reg).expect("class table sized for workload");
@@ -348,4 +362,54 @@ impl Engine {
     pub fn verify_ns(framed_len: usize) -> f64 {
         frame::crc_ns(framed_len.saturating_sub(frame::FOOTER_BYTES))
     }
+}
+
+/// The zero-copy deserialization path for [`Backend::Archive`] streams:
+/// CRC-verify the frame (when `checksum`), validate the archive in
+/// place, and hand back the [`ArchiveView`] — no destination heap, no
+/// reconstruction. The returned time is the full receive-side decode
+/// cost on the host-CPU model: CRC scan (when framed) plus validation,
+/// which scales with records and references rather than payload bytes.
+///
+/// Consumers that fold straight off the view (shuffle reducers, the
+/// cached-RDD job) pay this instead of
+/// [`Engine::try_deserialize_sunk`]'s reconstruction.
+///
+/// # Errors
+/// [`EngineError::Checksum`] on frame damage; [`EngineError::Ser`]
+/// (carrying the typed [`serializers::ArchiveError`] rendering) when
+/// validation rejects the image.
+pub fn validate_archive_sunk<'a, S: Sink>(
+    bytes: &'a [u8],
+    reg: &KlassRegistry,
+    checksum: bool,
+    sink: &mut S,
+) -> Result<(ArchiveView<'a>, f64), EngineError> {
+    let (payload, verify_ns) = if checksum {
+        (frame::verify(bytes)?, frame::crc_ns(bytes.len() - frame::FOOTER_BYTES))
+    } else {
+        (bytes, 0.0)
+    };
+    let mut cpu = Cpu::host();
+    if S::ENABLED {
+        cpu.track_op_classes(true);
+    }
+    let view = ArchiveView::validate(payload, reg, &mut cpu).map_err(SerError::from)?;
+    let ns = cpu.report().ns;
+    if S::ENABLED {
+        emit_cpu_classes(sink, &cpu);
+    }
+    Ok((view, ns + verify_ns))
+}
+
+/// [`validate_archive_sunk`] without telemetry.
+///
+/// # Errors
+/// Same as [`validate_archive_sunk`].
+pub fn validate_archive<'a>(
+    bytes: &'a [u8],
+    reg: &KlassRegistry,
+    checksum: bool,
+) -> Result<(ArchiveView<'a>, f64), EngineError> {
+    validate_archive_sunk(bytes, reg, checksum, &mut NoopSink)
 }

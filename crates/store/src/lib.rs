@@ -40,7 +40,9 @@ pub use block::{
     Access, AccessOutcome, BlockSource, BlockStore, MissPolicy, NoLineage, StoreConfig,
     StoreError, StoreStats,
 };
-pub use engine::{Backend, Engine, EngineError, SerTiming, DST_BASE};
+pub use engine::{
+    validate_archive, validate_archive_sunk, Backend, Engine, EngineError, SerTiming, DST_BASE,
+};
 pub use par::par_map;
 pub use rdd::{
     build_part, run_rdd, run_rdd_sunk, AccessPattern, PartBuild, PassStats, RddConfig, RddOutcome,

@@ -177,6 +177,30 @@ fn rebuild(cfg: &RddConfig, m: usize) -> (Vec<u8>, f64, f64, Heap, KlassRegistry
     (bytes, t.busy_ns, recompute_ns, heap, reg, batch)
 }
 
+/// Folds a cached [`Backend::Archive`] block in place: one validation
+/// pass over the image, then reads straight off the wire bytes.
+/// Returns the fold and the zero-copy decode cost (CRC verify when
+/// framed + validation).
+fn fold_archive_block(
+    bytes: &[u8],
+    reg: &KlassRegistry,
+    checksum: bool,
+) -> (BTreeMap<u64, (u64, f64)>, f64) {
+    let (view, de_ns) =
+        crate::engine::validate_archive(bytes, reg, checksum).expect("cached block is intact");
+    let mut fold: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+    let root = view.root().expect("cached batch is non-empty");
+    for j in 0..view.array_len(root) {
+        let rec = view.array_elem_ref(root, j).expect("batch records are non-null");
+        let key = view.field(rec, 0);
+        let value = f64::from_bits(view.field(rec, 1));
+        let e = fold.entry(key).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += value;
+    }
+    (fold, de_ns)
+}
+
 /// Builds and measures partition `m` (phase 1).
 pub fn build_part(cfg: &RddConfig, m: usize) -> PartBuild {
     let (bytes, ser_ns, recompute_ns, heap, reg, batch) = rebuild(cfg, m);
@@ -187,6 +211,15 @@ pub fn build_part(cfg: &RddConfig, m: usize) -> PartBuild {
         .expect("freshly serialized block round-trips");
     let fold = fold_batch(&dheap, droot);
     assert_eq!(fold, src_fold, "partition {m}: reconstruction changed the fold");
+    if cfg.backend == Backend::Archive {
+        // Zero-copy re-reads: every pass folds off the validated view
+        // instead of reconstructing, so the per-read cost is the
+        // validate-only time — after proving, on every run, that the
+        // in-place fold is bit-identical to the reconstruction fold.
+        let (zc_fold, zc_de_ns) = fold_archive_block(&bytes, &reg, cfg.checksum);
+        assert_eq!(zc_fold, fold, "partition {m}: zero-copy fold diverged from reconstruction");
+        return PartBuild { bytes, ser_ns, de_ns: zc_de_ns, recompute_ns, fold };
+    }
     PartBuild { bytes, ser_ns, de_ns, recompute_ns, fold }
 }
 

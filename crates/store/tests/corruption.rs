@@ -1,5 +1,5 @@
 //! Per-backend corruption detection: for every serialization backend —
-//! the five software baselines and the Cereal accelerator — a single
+//! the six software formats and the Cereal accelerator — a single
 //! flipped bit anywhere in a checksummed stream surfaces as a typed
 //! checksum error before the backend decodes a byte.
 
@@ -37,7 +37,7 @@ fn sample(backend: Backend) -> (Vec<u8>, sdheap::KlassRegistry, u64) {
 /// never a silently wrong reconstruction.
 #[test]
 fn every_backend_detects_single_bit_corruption() {
-    for backend in Backend::all() {
+    for &backend in Backend::all() {
         let (framed, reg, capacity) = sample(backend);
         let mut engine = Engine::new(backend, &reg);
         engine

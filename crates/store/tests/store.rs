@@ -61,7 +61,7 @@ fn eviction_order_is_deterministic() {
 /// fold.
 #[test]
 fn spill_and_reload_is_byte_identical_per_backend() {
-    for backend in Backend::all() {
+    for &backend in Backend::all() {
         let cfg = tiny(backend);
         let parts: Vec<_> = (0..cfg.agg.mappers).map(|m| build_part(&cfg, m)).collect();
         // Room for one block at a time: every put evicts the previous

@@ -19,6 +19,13 @@ cargo test -q --workspace $CARGO_FLAGS
 echo "== perf smoke =="
 cargo run --release -p cereal-bench --bin perf $CARGO_FLAGS -- --smoke
 
+echo "== zero-copy archive round trip =="
+# The archive backend's format pins (golden bytes), adversarial-input
+# properties, and the cross-serializer round trips that include it.
+cargo test -q -p serializers $CARGO_FLAGS --test golden_archive
+cargo test -q -p serializers $CARGO_FLAGS --test prop_archive
+cargo test -q $CARGO_FLAGS --test cross_serializer
+
 echo "== compiled-plan determinism (shuffle smoke, interpretive vs compiled) =="
 # Compiled plans may only change wall-clock: the serialized streams and
 # the narrated op sequences are contractually identical, so every

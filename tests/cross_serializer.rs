@@ -3,7 +3,9 @@
 //! graphs for every workload family in the repository.
 
 use cereal_repro::accel::CerealSerializer;
-use cereal_repro::baselines::{JavaSd, JsonLike, Kryo, NullSink, ProtoLike, Serializer, Skyway};
+use cereal_repro::baselines::{
+    Archive, JavaSd, JsonLike, Kryo, NullSink, ProtoLike, Serializer, Skyway,
+};
 use cereal_repro::bench_workloads::{media_content, MicroBench, Scale, SparkApp, SparkScale};
 use cereal_repro::heap::{isomorphic_with, Addr, Heap, IsoOptions, KlassRegistry};
 
@@ -13,6 +15,7 @@ fn all_serializers() -> Vec<Box<dyn Serializer>> {
         Box::new(Kryo::new()),
         Box::new(Skyway::new()),
         Box::new(ProtoLike::new()),
+        Box::new(Archive::new()),
         Box::new(CerealSerializer::new()),
     ]
 }
@@ -95,6 +98,7 @@ fn stream_sizes_keep_their_characteristic_order() {
         let get = |n: &str| sizes.iter().find(|(name, _)| name == n).expect("present").1;
         assert!(get("Kryo") < get("Java"), "{}: {sizes:?}", bench.name());
         assert!(get("Kryo") < get("Skyway"), "{}: {sizes:?}", bench.name());
+        assert!(get("Kryo") < get("Archive"), "{}: {sizes:?}", bench.name());
         assert!(get("Kryo") < get("Cereal"), "{}: {sizes:?}", bench.name());
     }
 }
