@@ -1,0 +1,341 @@
+//! The cluster-scheduler experiment (`cargo run --release --bin cluster`).
+//!
+//! Sweeps the event-driven multi-tenant cluster across four axes —
+//! executor count, tenant-arrival skew, DU contexts per node, and
+//! straggler rate (the last with speculation off and on) — and writes
+//! `BENCH_CLUSTER.json`. Every number is simulated time or a
+//! deterministic counter: the file is byte-identical for any `--jobs`
+//! value (CI diffs a 1-job run against a 4-job run).
+//!
+//! Two self-checks ride along and exit non-zero on failure:
+//!
+//! * **speculation** — at every straggler rate, the speculation-on run
+//!   must complete the same jobs with the same fold digests at a
+//!   makespan no worse than speculation-off; at rate 0 it must launch
+//!   zero copies;
+//! * **telemetry reconciliation** — one cell re-runs under a
+//!   [`Recorder`] and every `cluster.*` counter the scheduler booked at
+//!   its event site is checked against the report's independently
+//!   accumulated fields (the fabric ledger cross-checks the fabric
+//!   counters), gauges against the tracked maxima, histogram
+//!   count/sum against the latency totals, and the traced outcome
+//!   against the untraced one.
+//!
+//! Flags: `--smoke` (small config), `--jobs N` (worker threads),
+//! `--out PATH` (default `BENCH_CLUSTER.json`).
+
+use cereal_bench::table::{ns, Table};
+use cluster::{run_cluster, run_cluster_sunk, CellResult, ClusterConfig, ClusterOutcome};
+use telemetry::{JsonWriter, Recorder};
+
+fn run_cell(cfg: &ClusterConfig) -> CellResult {
+    let outcome = run_cluster(cfg).unwrap_or_else(|e| {
+        eprintln!(
+            "cluster cell failed ({} executors, {} tenants): {e}",
+            cfg.executors, cfg.tenants
+        );
+        std::process::exit(1);
+    });
+    CellResult { cfg: *cfg, outcome }
+}
+
+/// One reconciliation check; failures are reported, not fatal per-check.
+struct Recon {
+    checks: u64,
+    failures: u64,
+}
+
+impl Recon {
+    fn ok(&mut self, cond: bool, what: &str) {
+        self.checks += 1;
+        if !cond {
+            self.failures += 1;
+            eprintln!("cluster: telemetry reconciliation FAILED: {what}");
+        }
+    }
+
+    fn eq_u64(&mut self, counter: u64, field: u64, what: &str) {
+        self.ok(counter == field, &format!("{what}: counter {counter} != report {field}"));
+    }
+
+    fn close_f64(&mut self, a: f64, b: f64, what: &str) {
+        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+        self.ok((a - b).abs() <= tol, &format!("{what}: {a} != {b}"));
+    }
+}
+
+/// Re-runs `cfg` under a recorder and reconciles every booked counter,
+/// gauge and histogram against the report's own accumulators.
+fn reconcile(cfg: &ClusterConfig, untraced: &ClusterOutcome) -> Recon {
+    let mut rec = Recorder::new();
+    let traced = run_cluster_sunk(cfg, &mut rec).unwrap_or_else(|e| {
+        eprintln!("traced cluster run failed: {e}");
+        std::process::exit(1);
+    });
+    let m = &rec.metrics;
+    let mut r = Recon { checks: 0, failures: 0 };
+    r.ok(traced == *untraced, "traced outcome != untraced outcome");
+    r.eq_u64(m.counter("cluster.arrivals"), traced.arrivals, "arrivals");
+    r.eq_u64(m.counter("cluster.jobs_completed"), traced.jobs_completed, "jobs_completed");
+    r.eq_u64(m.counter("cluster.tasks_launched"), traced.tasks_launched, "tasks_launched");
+    r.eq_u64(m.counter("cluster.tasks_completed"), traced.tasks_completed, "tasks_completed");
+    r.eq_u64(m.counter("cluster.stragglers"), traced.stragglers, "stragglers");
+    r.eq_u64(m.counter("cluster.spec_launches"), traced.spec_launches, "spec_launches");
+    r.eq_u64(m.counter("cluster.spec_wins"), traced.spec_wins, "spec_wins");
+    r.eq_u64(m.counter("cluster.du_waits"), traced.du_waits, "du_waits");
+    // The outcome's fabric numbers come from the fabric's own ledgers,
+    // the counters from event-site booking — a genuine cross-check.
+    r.eq_u64(m.counter("cluster.fabric_messages"), traced.fabric_messages, "fabric_messages");
+    r.eq_u64(m.counter("cluster.fabric_bytes"), traced.fabric_bytes, "fabric_bytes");
+    let per_tenant: u64 = (0..cfg.tenants.min(8))
+        .map(|t| m.counter(["cluster.tenant0.jobs", "cluster.tenant1.jobs",
+            "cluster.tenant2.jobs", "cluster.tenant3.jobs", "cluster.tenant4.jobs",
+            "cluster.tenant5.jobs", "cluster.tenant6.jobs", "cluster.tenant7.jobs"][t]))
+        .sum();
+    r.eq_u64(per_tenant, traced.jobs_completed, "per-tenant job counters");
+    match m.histogram("cluster.job_latency_ns") {
+        Some(h) => {
+            r.eq_u64(h.count, traced.jobs_completed, "job_latency_ns count");
+            r.close_f64(h.sum, traced.job_latency_sum_ns, "job_latency_ns sum");
+            r.close_f64(h.max, traced.job_latency_max_ns, "job_latency_ns max");
+        }
+        None => r.ok(false, "job_latency_ns histogram missing"),
+    }
+    match m.histogram("cluster.du_wait_ns") {
+        Some(h) => {
+            r.eq_u64(h.count, traced.du_waits, "du_wait_ns count");
+            r.close_f64(h.sum, traced.du_wait_ns, "du_wait_ns sum");
+        }
+        None => r.ok(traced.du_waits == 0, "du_wait_ns histogram missing"),
+    }
+    match m.histogram("cluster.task_service_ns") {
+        Some(h) => r.eq_u64(h.count, traced.tasks_launched, "task_service_ns count"),
+        None => r.ok(false, "task_service_ns histogram missing"),
+    }
+    match m.gauge_value("cluster.queue_depth") {
+        Some(g) => r.close_f64(g.max, traced.max_queue_depth as f64, "queue_depth max"),
+        None => r.ok(false, "queue_depth gauge missing"),
+    }
+    match m.gauge_value("cluster.running_tasks") {
+        Some(g) => r.close_f64(g.max, traced.max_running as f64, "running_tasks max"),
+        None => r.ok(false, "running_tasks gauge missing"),
+    }
+    let lanes = rec
+        .process_names
+        .keys()
+        .filter(|&&pid| pid >= telemetry::ids::CLUSTER_PID_BASE)
+        .count() as u64;
+    r.eq_u64(lanes, traced.executors_used, "per-executor trace lanes");
+    r
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 8)
+        });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_CLUSTER.json".to_string());
+
+    // The base cell: a ≥512-executor multi-tenant cluster even in smoke
+    // mode (the whole point of the lazy fabric).
+    let mut base = ClusterConfig::smoke();
+    base.executors = 512;
+    base.executors_per_node = 8;
+    base.du_contexts_per_node = 2;
+    base.jobs = jobs;
+    if !smoke {
+        base.tenants = 8;
+        base.job_arrivals = 96;
+        base.template_mappers = 6;
+        base.template_records = 384;
+        base.template_keys = 64;
+    }
+
+    let executor_axis: &[usize] = if smoke { &[64, 512] } else { &[128, 512, 1024] };
+    let theta_axis: &[f64] = if smoke { &[0.0, 1.1] } else { &[0.0, 0.8, 1.3] };
+    let du_axis: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 8] };
+    let straggler_axis: &[f64] = if smoke { &[0.0, 0.1] } else { &[0.0, 0.05, 0.15] };
+
+    eprintln!(
+        "cluster: base {} executors / {} nodes, {} tenants, {} arrivals, {jobs} jobs",
+        base.executors,
+        base.nodes(),
+        base.tenants,
+        base.job_arrivals
+    );
+
+    // ---- Executor-scale sweep ------------------------------------------
+    let mut scale_cells = Vec::new();
+    for &e in executor_axis {
+        let mut cfg = base;
+        cfg.executors = e;
+        scale_cells.push(run_cell(&cfg));
+    }
+
+    // ---- Tenant-skew sweep ---------------------------------------------
+    let mut skew_cells = Vec::new();
+    for &theta in theta_axis {
+        let mut cfg = base;
+        cfg.tenant_theta = theta;
+        skew_cells.push(run_cell(&cfg));
+    }
+
+    // ---- DU-context sweep ----------------------------------------------
+    // Fewer executors per node at high load keeps Cereal decode waves
+    // colliding on the per-node contexts.
+    let mut du_cells = Vec::new();
+    for &du in du_axis {
+        let mut cfg = base;
+        cfg.executors = 128;
+        cfg.target_load = 1.2;
+        cfg.du_contexts_per_node = du;
+        du_cells.push(run_cell(&cfg));
+    }
+
+    // ---- Straggler × speculation sweep ---------------------------------
+    let mut straggler_cells = Vec::new();
+    for &rate in straggler_axis {
+        for spec in [false, true] {
+            let mut cfg = base;
+            cfg.straggler_rate = rate;
+            cfg.speculation = spec;
+            straggler_cells.push(run_cell(&cfg));
+        }
+    }
+    // Speculation self-checks: same answers, no worse makespan, and no
+    // copies without stragglers.
+    for pair in straggler_cells.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        assert_eq!(
+            on.outcome.fold_checksum, off.outcome.fold_checksum,
+            "speculation changed an answer at rate {}",
+            on.cfg.straggler_rate
+        );
+        assert_eq!(on.outcome.jobs_completed, off.outcome.jobs_completed);
+        assert!(
+            on.outcome.makespan_ns <= off.outcome.makespan_ns,
+            "speculation must not hurt the makespan at rate {}: on {} vs off {}",
+            on.cfg.straggler_rate,
+            on.outcome.makespan_ns,
+            off.outcome.makespan_ns
+        );
+        if on.cfg.straggler_rate == 0.0 {
+            assert_eq!(on.outcome.spec_launches, 0, "no stragglers, no copies");
+            assert_eq!(on.outcome, off.outcome, "rate-0 speculation is a no-op");
+        }
+    }
+    let clean_makespan = straggler_cells[0].outcome.makespan_ns;
+
+    let mut t = Table::new(&[
+        "sweep", "exec", "theta", "du/node", "rate", "spec", "makespan", "mean lat",
+        "du waits", "spec wins", "x clean",
+    ]);
+    let mut table_row = |label: &str, c: &CellResult, baseline_ns: f64| {
+        t.row(vec![
+            label.to_string(),
+            c.cfg.executors.to_string(),
+            format!("{}", c.cfg.tenant_theta),
+            c.cfg.du_contexts_per_node.to_string(),
+            format!("{}", c.cfg.straggler_rate),
+            if c.cfg.speculation { "on" } else { "off" }.to_string(),
+            ns(c.outcome.makespan_ns),
+            ns(c.outcome.mean_latency_ns()),
+            c.outcome.du_waits.to_string(),
+            c.outcome.spec_wins.to_string(),
+            if baseline_ns > 0.0 {
+                format!("{:.2}", c.outcome.makespan_ns / baseline_ns)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    };
+    for c in &scale_cells {
+        table_row("scale", c, 0.0);
+    }
+    for c in &skew_cells {
+        table_row("skew", c, 0.0);
+    }
+    for c in &du_cells {
+        table_row("du", c, 0.0);
+    }
+    for c in &straggler_cells {
+        table_row("straggler", c, clean_makespan);
+    }
+    eprintln!("{}", t.render());
+
+    // ---- Telemetry reconciliation --------------------------------------
+    // The most eventful cell: stragglers, speculation, DU contention.
+    let mut recon_cfg = base;
+    recon_cfg.executors = 128;
+    recon_cfg.target_load = 1.2;
+    recon_cfg.straggler_rate = *straggler_axis.last().expect("axis non-empty");
+    recon_cfg.speculation = true;
+    let recon_cell = run_cell(&recon_cfg);
+    let recon = reconcile(&recon_cfg, &recon_cell.outcome);
+    eprintln!(
+        "cluster: telemetry reconciliation {}/{} checks passed",
+        recon.checks - recon.failures,
+        recon.checks
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("generated_by", "cereal-bench --bin cluster");
+    w.field_bool("smoke", smoke);
+    w.field_u64("base_executors", base.executors as u64);
+    w.field_u64("base_tenants", base.tenants as u64);
+    w.field_u64("base_arrivals", base.job_arrivals as u64);
+    w.key("scale_sweep");
+    w.begin_arr();
+    for c in &scale_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("skew_sweep");
+    w.begin_arr();
+    for c in &skew_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("du_sweep");
+    w.begin_arr();
+    for c in &du_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("straggler_sweep");
+    w.begin_arr();
+    for c in &straggler_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("reconciliation");
+    w.begin_obj();
+    w.field_u64("checks", recon.checks);
+    w.field_u64("failures", recon.failures);
+    w.end_obj();
+    w.end_obj();
+    let mut json = w.finish();
+    json.push('\n');
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    if recon.failures > 0 {
+        eprintln!("cluster: {} reconciliation checks failed", recon.failures);
+        std::process::exit(1);
+    }
+}

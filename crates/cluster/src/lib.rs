@@ -1,0 +1,182 @@
+//! `cluster` — a deterministic event-driven cluster scheduler.
+//!
+//! The sibling crates simulate one job at a time on a hand-rolled
+//! per-run timeline: nothing ever *contends*. This crate replaces that
+//! timeline with a discrete-event scheduler over 100s–1000s of
+//! executors, so the serialization economics the paper measures finally
+//! meet cluster reality — queueing, sharing, and stragglers:
+//!
+//! * **open arrivals** — a seeded Poisson-style job generator
+//!   ([`job::arrivals`]) on the simulated clock; each arrival draws its
+//!   tenant from a Zipf-skewed [`workloads::SkewSampler`], so a few hot
+//!   tenants dominate the cluster the way hot keys dominate a shuffle;
+//! * **real work, profiled once** — each tenant's job template is
+//!   executed *for real* exactly once ([`profile`]): shuffle map tasks
+//!   run [`shuffle::run_mapper`], reduce tasks run
+//!   [`shuffle::run_reducer`], cached-RDD tasks run
+//!   [`store::build_part`] — producing per-task service times, message
+//!   bytes, and per-task folds. The scheduler then replays those
+//!   profiles under contention; folds are re-merged from winning task
+//!   attempts at job completion and checked against the profile digest,
+//!   so scheduling can never silently change an answer;
+//! * **a shared fabric** — every inter-executor transfer (reduce input
+//!   fetches, cached-block reads) is charged on one
+//!   [`sim::net::Fabric`] full mesh whose lazy pair links make
+//!   1000-executor meshes affordable;
+//! * **DU context sharing** — executors are grouped into nodes; each
+//!   node owns `du_contexts_per_node` Cereal accelerator
+//!   deserialization contexts. Cereal-backend reduce/scan tasks queue
+//!   for a context, and the queueing delay is charged on the event
+//!   clock — the paper's accelerator, finally shared;
+//! * **speculative re-execution** — a seeded straggler model inflates
+//!   some task services; once a stage is mostly done, running tasks
+//!   lagging the completed-task median get a speculative copy
+//!   (first-completion-wins, the loser killed and its executor and DU
+//!   context reclaimed). Copies replay the same profile, so folds stay
+//!   bit-identical — speculation moves time, never answers;
+//! * **telemetry twins** — [`run_cluster_sunk`] books every counter,
+//!   gauge and span at the event site; the `cluster` bench binary
+//!   reconciles the exported counters against the report and exits
+//!   non-zero on any mismatch.
+//!
+//! Determinism: profile building fans out over real threads
+//! ([`ClusterConfig::jobs`] via [`store::par_map`]), but per-task
+//! results are pure functions of the config; the event loop itself is
+//! strictly sequential with FIFO tie-breaking ([`event::EventQueue`]).
+//! Every reported number is therefore byte-identical for any job count
+//! (test- and CI-enforced).
+
+pub mod event;
+pub mod job;
+pub mod profile;
+pub mod report;
+pub mod sched;
+
+pub use event::EventQueue;
+pub use job::{arrivals, template, Arrival, JobKind, TenantTemplate};
+pub use profile::{build_profiles, JobProfile, JobShape};
+pub use report::CellResult;
+pub use sched::{run_cluster, run_cluster_sunk, ClusterOutcome, TenantStats};
+
+use sim::LinkConfig;
+
+/// Errors the cluster scheduler can surface. Profile building runs real
+/// executors, so their typed errors propagate; the scheduler itself
+/// adds fold-integrity violations (which would mean scheduling changed
+/// an answer — a bug, never expected).
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A profile-building shuffle executor failed.
+    Shuffle(shuffle::ShuffleError),
+    /// A tenant's profiled shuffle fold did not match the dataset's
+    /// independently computed expected aggregate.
+    ProfileFoldMismatch {
+        /// The offending tenant.
+        tenant: usize,
+    },
+    /// A completed job's re-merged fold digest did not match its
+    /// tenant profile.
+    JobFoldMismatch {
+        /// The offending job (arrival index).
+        job: usize,
+        /// The job's tenant.
+        tenant: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Shuffle(e) => write!(f, "profile shuffle executor failed: {e}"),
+            ClusterError::ProfileFoldMismatch { tenant } => {
+                write!(f, "tenant {tenant}: profiled fold != expected aggregate")
+            }
+            ClusterError::JobFoldMismatch { job, tenant } => {
+                write!(f, "job {job} (tenant {tenant}): re-merged fold != profile digest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<shuffle::ShuffleError> for ClusterError {
+    fn from(e: shuffle::ShuffleError) -> Self {
+        ClusterError::Shuffle(e)
+    }
+}
+
+/// Cluster experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Executors in the cluster (fabric endpoints, task slots).
+    pub executors: usize,
+    /// Executors per physical node (DU contexts are per node).
+    pub executors_per_node: usize,
+    /// Cereal DU deserialization contexts per node — the shared,
+    /// contended accelerator resource.
+    pub du_contexts_per_node: usize,
+    /// Tenants (distinct job templates).
+    pub tenants: usize,
+    /// Zipf exponent of the tenant-arrival skew (0 = uniform).
+    pub tenant_theta: f64,
+    /// Jobs arriving over the run (open arrivals).
+    pub job_arrivals: usize,
+    /// Target executor utilization the arrival rate is calibrated to.
+    pub target_load: f64,
+    /// Map tasks (= reduce tasks = cached partitions) per job template.
+    pub template_mappers: usize,
+    /// Records per map task in the templates.
+    pub template_records: usize,
+    /// Distinct aggregation keys in the templates.
+    pub template_keys: u64,
+    /// Pair-link model of the shared fabric.
+    pub link: LinkConfig,
+    /// Probability a task draws a straggler (seeded per task).
+    pub straggler_rate: f64,
+    /// Service-time multiplier of a straggling task.
+    pub straggler_factor: f64,
+    /// Whether speculative re-execution is on.
+    pub speculation: bool,
+    /// Fraction of a stage that must complete before its laggards are
+    /// eligible for speculation.
+    pub spec_quantile: f64,
+    /// A running task is a laggard when its elapsed time exceeds this
+    /// multiple of the stage's completed-task median service.
+    pub spec_multiplier: f64,
+    /// Master seed (arrivals, tenant skew, straggler draws, datasets).
+    pub seed: u64,
+    /// Worker threads for profile building (does not affect results).
+    pub jobs: usize,
+}
+
+impl ClusterConfig {
+    /// Small configuration for tests and `--smoke` runs.
+    pub fn smoke() -> Self {
+        ClusterConfig {
+            executors: 64,
+            executors_per_node: 8,
+            du_contexts_per_node: 2,
+            tenants: 4,
+            tenant_theta: 1.1,
+            job_arrivals: 24,
+            target_load: 0.7,
+            template_mappers: 4,
+            template_records: 192,
+            template_keys: 32,
+            link: LinkConfig::ten_gbe(),
+            straggler_rate: 0.0,
+            straggler_factor: 8.0,
+            speculation: false,
+            spec_quantile: 0.5,
+            spec_multiplier: 1.5,
+            seed: 0xC105_7E2_5EED,
+            jobs: 1,
+        }
+    }
+
+    /// Nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.executors.div_ceil(self.executors_per_node.max(1))
+    }
+}

@@ -1,0 +1,326 @@
+//! Job profiles: each tenant's template executed for real, once.
+//!
+//! The scheduler needs per-task service times, inter-task transfer
+//! sizes, and per-task answers. Rather than inventing synthetic
+//! numbers, every tenant's template runs through the *actual*
+//! executors — [`shuffle::run_mapper`]/[`shuffle::run_reducer`] for
+//! shuffle jobs, [`store::build_part`] for cached-RDD jobs — exactly
+//! once, and the measurements become the profile that every job
+//! instance of that tenant replays under contention. Task outputs
+//! (per-reduce-task and per-partition folds) ride along, so a job's
+//! answer can be re-assembled from whichever attempts win and checked
+//! against the profile digest.
+//!
+//! Builds fan out over [`store::par_map`] (per-task results are pure
+//! functions of the template), so `--jobs` changes wall-clock only.
+
+use crate::job::{template, JobKind, TenantTemplate};
+use crate::{ClusterConfig, ClusterError};
+use shuffle::{fold_checksum, run_mapper, Message, ShuffleConfig};
+use std::collections::BTreeMap;
+use store::{build_part, par_map, MissPolicy, RddConfig};
+
+/// A per-key `(count, sum)` aggregate.
+pub type Fold = BTreeMap<u64, (u64, f64)>;
+
+/// One profiled map task.
+#[derive(Clone, Debug)]
+pub struct MapTask {
+    /// Simulated service time (build + shuffle + serialize, the
+    /// mapper's full clock).
+    pub service_ns: f64,
+}
+
+/// One profiled reduce task.
+#[derive(Clone, Debug)]
+pub struct ReduceTask {
+    /// Inputs in deterministic `(mapper, seq)` order: which map task
+    /// produced the batch, and its wire size.
+    pub inputs: Vec<(usize, u64)>,
+    /// Simulated decode service time (summed over inputs).
+    pub service_ns: f64,
+    /// The task's fold over its key range.
+    pub fold: Fold,
+}
+
+/// One profiled cached partition.
+#[derive(Clone, Debug)]
+pub struct ScanPart {
+    /// Serialized block size (what a remote scan fetches).
+    pub bytes: u64,
+    /// Materialization service (graph build + GC pressure +
+    /// serialization — the lineage cost).
+    pub materialize_ns: f64,
+    /// Per-pass read service (deserialize, or validate-only for the
+    /// zero-copy backend).
+    pub read_ns: f64,
+    /// The partition's fold.
+    pub fold: Fold,
+}
+
+/// A tenant job's task graph.
+#[derive(Clone, Debug)]
+pub enum JobShape {
+    /// Map wave then reduce wave.
+    Shuffle {
+        /// Profiled map tasks.
+        maps: Vec<MapTask>,
+        /// Profiled reduce tasks.
+        reduces: Vec<ReduceTask>,
+    },
+    /// Materialize wave then `passes` scan waves.
+    Scan {
+        /// Profiled partitions.
+        parts: Vec<ScanPart>,
+        /// Scan stages after materialization.
+        passes: usize,
+    },
+}
+
+/// One tenant's complete job profile.
+#[derive(Clone, Debug)]
+pub struct JobProfile {
+    /// The template this profile measures.
+    pub template: TenantTemplate,
+    /// The task graph with per-task measurements.
+    pub shape: JobShape,
+    /// FNV-1a digest of the job's merged fold — what every completed
+    /// job instance must reproduce from its winning attempts.
+    pub fold_checksum: u64,
+    /// Tasks per job instance.
+    pub tasks: u64,
+    /// Summed nominal task service per job instance.
+    pub total_service_ns: f64,
+}
+
+impl JobProfile {
+    /// Stages per job instance.
+    pub fn stages(&self) -> usize {
+        match &self.shape {
+            JobShape::Shuffle { .. } => 2,
+            JobShape::Scan { passes, .. } => 1 + passes,
+        }
+    }
+
+    /// Tasks in stage `s`.
+    pub fn stage_tasks(&self, s: usize) -> usize {
+        match &self.shape {
+            JobShape::Shuffle { maps, reduces } => {
+                if s == 0 {
+                    maps.len()
+                } else {
+                    reduces.len()
+                }
+            }
+            JobShape::Scan { parts, .. } => parts.len(),
+        }
+    }
+
+    /// Nominal service of task `t` in stage `s`.
+    pub fn service_ns(&self, s: usize, t: usize) -> f64 {
+        match &self.shape {
+            JobShape::Shuffle { maps, reduces } => {
+                if s == 0 {
+                    maps[t].service_ns
+                } else {
+                    reduces[t].service_ns
+                }
+            }
+            JobShape::Scan { parts, .. } => {
+                if s == 0 {
+                    parts[t].materialize_ns
+                } else {
+                    parts[t].read_ns
+                }
+            }
+        }
+    }
+
+    /// Whether stage `s` tasks decode serialized data (and so need a DU
+    /// context under the Cereal backend).
+    pub fn stage_decodes(&self, s: usize) -> bool {
+        s > 0
+    }
+}
+
+/// The shuffle configuration a tenant template profiles under:
+/// fault-free, spill-free, square (reducers = mappers), single-threaded
+/// per task.
+fn shuffle_cfg(t: &TenantTemplate) -> ShuffleConfig {
+    ShuffleConfig {
+        mappers: t.agg.mappers,
+        reducers: t.agg.mappers,
+        records_per_mapper: t.agg.records_per_mapper,
+        distinct_keys: t.agg.distinct_keys,
+        seed: t.agg.seed,
+        skew: t.agg.skew,
+        flush_bytes: 4 << 10,
+        watermark_bytes: 1 << 30,
+        spill_bytes: 0,
+        link: sim::LinkConfig::ten_gbe(),
+        link_name: "10GbE",
+        gc_pressure: false,
+        gc_waves: 1,
+        jobs: 1,
+        checksum: false,
+        faults: None,
+    }
+}
+
+fn profile_shuffle(cfg: &ClusterConfig, t: &TenantTemplate) -> Result<JobProfile, ClusterError> {
+    let sc = shuffle_cfg(t);
+    let outs = par_map(cfg.jobs, sc.mappers, |m| run_mapper(&sc, t.backend, m));
+    let mut maps = Vec::with_capacity(sc.mappers);
+    let mut all_msgs: Vec<Message> = Vec::new();
+    for out in outs {
+        let out = out?;
+        maps.push(MapTask { service_ns: out.clock_ns });
+        all_msgs.extend(out.messages);
+    }
+    let reg = sc.agg().registry();
+    let cap = sc.agg().heap_capacity();
+    let reduces_res = par_map(cfg.jobs, sc.reducers, |r| {
+        let mut msgs: Vec<&Message> = all_msgs.iter().filter(|m| m.dst == r).collect();
+        msgs.sort_by_key(|m| (m.src, m.seq));
+        let out = shuffle::run_reducer(t.backend, &reg, cap, &msgs, &[], false)?;
+        Ok::<ReduceTask, ClusterError>(ReduceTask {
+            inputs: msgs.iter().map(|m| (m.src, m.bytes.len() as u64)).collect(),
+            service_ns: out.de_busy_ns,
+            fold: out.fold,
+        })
+    });
+    let mut reduces = Vec::with_capacity(sc.reducers);
+    for r in reduces_res {
+        reduces.push(r?);
+    }
+    // Reducers own disjoint key ranges (key % reducers), so merging in
+    // reducer order reproduces the expected aggregate bit for bit.
+    let mut merged: Fold = Fold::new();
+    for r in &reduces {
+        for (&k, &(c, s)) in &r.fold {
+            let e = merged.entry(k).or_insert((0, 0.0));
+            e.0 += c;
+            e.1 += s;
+        }
+    }
+    if merged != sc.agg().expected_fold() {
+        return Err(ClusterError::ProfileFoldMismatch { tenant: t.tenant });
+    }
+    let digest = fold_checksum(&merged);
+    let total: f64 = maps.iter().map(|m| m.service_ns).sum::<f64>()
+        + reduces.iter().map(|r| r.service_ns).sum::<f64>();
+    let tasks = (maps.len() + reduces.len()) as u64;
+    Ok(JobProfile {
+        template: *t,
+        shape: JobShape::Shuffle { maps, reduces },
+        fold_checksum: digest,
+        tasks,
+        total_service_ns: total,
+    })
+}
+
+fn profile_scan(cfg: &ClusterConfig, t: &TenantTemplate, passes: usize) -> JobProfile {
+    let rc = RddConfig {
+        agg: t.agg,
+        backend: t.backend,
+        memory_fraction: 1.0,
+        passes: 0,
+        policy: MissPolicy::Fetch,
+        disk: sim::DiskConfig::ssd(),
+        access: store::AccessPattern::Scan,
+        jobs: 1,
+        checksum: false,
+        fault: None,
+    };
+    let parts: Vec<ScanPart> = par_map(cfg.jobs, t.agg.mappers, |m| {
+        // `build_part` runs the real materialize + re-read cycle and
+        // asserts the reconstructed fold matches the source data.
+        let p = build_part(&rc, m);
+        ScanPart {
+            bytes: p.bytes.len() as u64,
+            materialize_ns: p.recompute_ns,
+            read_ns: p.de_ns,
+            fold: p.fold,
+        }
+    });
+    // Partitions share keys, so the merge order (partition order) is
+    // part of the digest's definition — the scheduler re-merges winning
+    // attempts in the same order.
+    let mut merged: Fold = Fold::new();
+    for p in &parts {
+        for (&k, &(c, s)) in &p.fold {
+            let e = merged.entry(k).or_insert((0, 0.0));
+            e.0 += c;
+            e.1 += s;
+        }
+    }
+    let digest = fold_checksum(&merged);
+    let total: f64 = parts
+        .iter()
+        .map(|p| p.materialize_ns + passes as f64 * p.read_ns)
+        .sum();
+    let tasks = (parts.len() * (1 + passes)) as u64;
+    JobProfile {
+        template: *t,
+        shape: JobShape::Scan { parts, passes },
+        fold_checksum: digest,
+        tasks,
+        total_service_ns: total,
+    }
+}
+
+/// Builds every tenant's profile. Within a tenant, task builds fan out
+/// over `cfg.jobs` worker threads; results are independent of the
+/// thread count.
+///
+/// # Errors
+/// Propagates executor errors and profile fold mismatches.
+pub fn build_profiles(cfg: &ClusterConfig) -> Result<Vec<JobProfile>, ClusterError> {
+    (0..cfg.tenants)
+        .map(|i| {
+            let t = template(cfg, i);
+            match t.kind {
+                JobKind::Shuffle => profile_shuffle(cfg, &t),
+                JobKind::Scan { passes } => Ok(profile_scan(cfg, &t, passes)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic_across_thread_counts() {
+        let mut cfg = ClusterConfig::smoke();
+        cfg.tenants = 2;
+        cfg.jobs = 1;
+        let a = build_profiles(&cfg).expect("profiles build");
+        cfg.jobs = 4;
+        let b = build_profiles(&cfg).expect("profiles build");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fold_checksum, y.fold_checksum);
+            assert_eq!(x.tasks, y.tasks);
+            assert_eq!(x.total_service_ns, y.total_service_ns);
+        }
+    }
+
+    #[test]
+    fn shuffle_profile_carries_inputs_and_positive_services() {
+        let mut cfg = ClusterConfig::smoke();
+        cfg.tenants = 1;
+        let p = &build_profiles(&cfg).expect("profiles build")[0];
+        let JobShape::Shuffle { maps, reduces } = &p.shape else {
+            panic!("tenant 0 is a shuffle template");
+        };
+        assert_eq!(maps.len(), cfg.template_mappers);
+        assert_eq!(reduces.len(), cfg.template_mappers);
+        assert!(maps.iter().all(|m| m.service_ns > 0.0));
+        for r in reduces {
+            assert!(!r.inputs.is_empty(), "every reducer receives batches");
+            assert!(r.inputs.iter().all(|&(src, b)| src < maps.len() && b > 0));
+        }
+    }
+}

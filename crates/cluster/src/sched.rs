@@ -1,0 +1,801 @@
+//! The event-driven scheduler: open arrivals, stage barriers, DU
+//! sharing, straggler detection and speculative re-execution.
+//!
+//! One strictly sequential event loop over [`crate::EventQueue`]:
+//! arrivals enqueue a job's first stage, task-finish events advance
+//! stage barriers, and a dispatcher greedily places pending task
+//! attempts onto free executors (lowest index first, FIFO queue) after
+//! every event. Reduce/scan attempts fetch their inputs over the shared
+//! [`Fabric`] and — under the Cereal backend — queue for one of the
+//! node's DU contexts, with the wait charged on the event clock.
+//!
+//! Stragglers are seeded per-task draws that inflate the original
+//! attempt's service. Once `spec_quantile` of a stage has completed,
+//! any running original whose elapsed compute time exceeds
+//! `spec_multiplier ×` the larger of the stage's completed-task median
+//! and its own profiled nominal gets one speculative copy at nominal
+//! service; the first attempt to finish wins, the other is
+//! killed on the spot (executor freed, DU context refunded if nobody
+//! queued behind it). Winner and loser replay the same profile, so the
+//! job's re-merged fold is bit-identical to the profile digest —
+//! checked at every job completion.
+
+use crate::event::EventQueue;
+use crate::profile::{build_profiles, Fold, JobProfile, JobShape};
+use crate::{ClusterConfig, ClusterError};
+use shuffle::fold_checksum;
+use sim::net::Fabric;
+use std::collections::{BTreeSet, VecDeque};
+use store::Backend;
+use telemetry::ids::{CLUSTER_PID_BASE, DRIVER_PID, T_DU, T_MAIN};
+use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
+
+/// PRNG scope of the per-task straggler draws.
+const STRAGGLER_SCOPE: u64 = 0x57A6_61E2_0000;
+
+/// Per-tenant counter names (static, as the metrics registry requires).
+/// Tenants beyond this table still run; only their per-tenant counters
+/// are folded into the last slot.
+const TENANT_JOB_COUNTERS: [&str; 8] = [
+    "cluster.tenant0.jobs",
+    "cluster.tenant1.jobs",
+    "cluster.tenant2.jobs",
+    "cluster.tenant3.jobs",
+    "cluster.tenant4.jobs",
+    "cluster.tenant5.jobs",
+    "cluster.tenant6.jobs",
+    "cluster.tenant7.jobs",
+];
+
+/// Per-tenant accumulators.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// Jobs of this tenant that completed.
+    pub jobs: u64,
+    /// Summed sojourn time (completion − arrival) of those jobs.
+    pub latency_sum_ns: f64,
+}
+
+/// Everything one cluster run produced. Every field is a deterministic
+/// function of the configuration — byte-identical for any worker-thread
+/// count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterOutcome {
+    /// Jobs that arrived (= `cfg.job_arrivals`).
+    pub arrivals: u64,
+    /// Jobs that ran to completion (always = arrivals; the run drains).
+    pub jobs_completed: u64,
+    /// Task attempts dispatched (originals + speculative copies).
+    pub tasks_launched: u64,
+    /// Tasks completed (one winning attempt each).
+    pub tasks_completed: u64,
+    /// Tasks whose straggler draw hit.
+    pub stragglers: u64,
+    /// Speculative copies dispatched.
+    pub spec_launches: u64,
+    /// Speculative copies that finished first.
+    pub spec_wins: u64,
+    /// DU context acquisitions that had to queue.
+    pub du_waits: u64,
+    /// Total DU queueing delay.
+    pub du_wait_ns: f64,
+    /// Messages crossing the fabric (input fetches).
+    pub fabric_messages: u64,
+    /// Bytes crossing the fabric.
+    pub fabric_bytes: u64,
+    /// Completion time of the last job.
+    pub makespan_ns: f64,
+    /// Summed job sojourn time.
+    pub job_latency_sum_ns: f64,
+    /// Largest job sojourn time.
+    pub job_latency_max_ns: f64,
+    /// Deepest the pending-attempt queue ever got.
+    pub max_queue_depth: u64,
+    /// Most attempts ever running at once.
+    pub max_running: u64,
+    /// Distinct executors that ran at least one attempt.
+    pub executors_used: u64,
+    /// Summed service of winning attempts (for utilization).
+    pub busy_ns: f64,
+    /// Per-tenant stats, indexed by tenant.
+    pub per_tenant: Vec<TenantStats>,
+    /// FNV-1a digest over every job's fold digest, in arrival order.
+    pub fold_checksum: u64,
+}
+
+impl ClusterOutcome {
+    /// Mean job sojourn time.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.job_latency_sum_ns / self.jobs_completed as f64
+        }
+    }
+
+    /// Average executor utilization over the makespan.
+    pub fn utilization(&self, executors: usize) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            0.0
+        } else {
+            self.busy_ns / (self.makespan_ns * executors as f64)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Job `job` arrives.
+    Arrival(usize),
+    /// Attempt `a` reaches its scheduled finish time.
+    Finish(usize),
+    /// Re-examine the original attempt `a` for speculation.
+    SpecCheck(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum StageKind {
+    Map,
+    Reduce,
+    Materialize,
+    Scan,
+}
+
+impl StageKind {
+    fn span_name(self) -> &'static str {
+        match self {
+            StageKind::Map => "task.map",
+            StageKind::Reduce => "task.reduce",
+            StageKind::Materialize => "task.materialize",
+            StageKind::Scan => "task.scan",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct TaskState {
+    /// Service of the original attempt (straggler-adjusted).
+    service_ns: f64,
+    /// Nominal service (what a speculative copy runs at).
+    nominal_ns: f64,
+    completed: bool,
+    /// Executor holding this task's output (the winner's).
+    winner_exec: usize,
+    original: Option<usize>,
+    spec: Option<usize>,
+    /// Whether a deferred speculation re-check is already scheduled.
+    spec_check: bool,
+}
+
+#[derive(Clone, Debug)]
+struct StageState {
+    kind: StageKind,
+    tasks: Vec<TaskState>,
+    done: usize,
+    /// Winning services of completed tasks, for the laggard median.
+    completed_services: Vec<f64>,
+}
+
+#[derive(Clone, Debug)]
+struct JobState {
+    tenant: usize,
+    arrival_ns: f64,
+    /// Index of the currently running stage.
+    stage: usize,
+    stages: Vec<StageState>,
+    done: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AttemptInfo {
+    job: usize,
+    stage: usize,
+    task: usize,
+    speculative: bool,
+    dispatched: bool,
+    cancelled: bool,
+    finished: bool,
+    exec: usize,
+    start_ns: f64,
+    /// When compute began: dispatch + input fetches + DU wait. The
+    /// laggard test measures elapsed *compute* time from here, so fetch
+    /// and queueing delays (which the scheduler observed) never count
+    /// against a task.
+    work_start_ns: f64,
+    finish_ns: f64,
+    /// DU context this attempt holds: `(node, ctx)`.
+    du: Option<(usize, usize)>,
+}
+
+struct Sched<'a, S: Sink> {
+    cfg: &'a ClusterConfig,
+    profiles: &'a [JobProfile],
+    jobs: Vec<JobState>,
+    attempts: Vec<AttemptInfo>,
+    pending: VecDeque<usize>,
+    pending_live: usize,
+    free: BTreeSet<usize>,
+    fabric: Fabric,
+    /// Per-node DU context free times.
+    du_free: Vec<Vec<f64>>,
+    q: EventQueue<Event>,
+    named: Vec<bool>,
+    exec_used: Vec<bool>,
+    running: u64,
+    out: ClusterOutcome,
+    /// Per-job fold digests, in arrival order.
+    job_digests: Vec<u64>,
+    sink: &'a mut S,
+}
+
+/// Mixes `(job, stage, task)` into a straggler-scope word.
+fn task_scope(job: usize, stage: usize, task: usize) -> u64 {
+    ((job as u64) << 24) ^ ((stage as u64) << 16) ^ task as u64
+}
+
+impl<S: Sink> Sched<'_, S> {
+    fn profile(&self, j: usize) -> &JobProfile {
+        &self.profiles[self.jobs[j].tenant]
+    }
+
+    fn exec_entity(&self, e: usize) -> EntityId {
+        EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_MAIN }
+    }
+
+    fn name_exec(&mut self, e: usize) {
+        if S::ENABLED && !self.named[e] {
+            self.named[e] = true;
+            let pid = CLUSTER_PID_BASE + e as u32;
+            self.sink.name_process(pid, &format!("exec {e}"));
+            self.sink.name_thread(pid, T_MAIN, "task");
+            self.sink.name_thread(pid, T_DU, "du wait");
+        }
+    }
+
+    /// Creates stage `s` of job `j` and queues one original attempt per
+    /// task, drawing each task's straggler fate from its scoped stream.
+    fn enqueue_stage(&mut self, j: usize, s: usize) {
+        let profile = &self.profiles[self.jobs[j].tenant];
+        let n = profile.stage_tasks(s);
+        let kind = match (&profile.shape, s) {
+            (JobShape::Shuffle { .. }, 0) => StageKind::Map,
+            (JobShape::Shuffle { .. }, _) => StageKind::Reduce,
+            (JobShape::Scan { .. }, 0) => StageKind::Materialize,
+            (JobShape::Scan { .. }, _) => StageKind::Scan,
+        };
+        let nominals: Vec<f64> = (0..n).map(|t| profile.service_ns(s, t)).collect();
+        let mut tasks = Vec::with_capacity(n);
+        for (t, &nominal) in nominals.iter().enumerate() {
+            let mut service = nominal;
+            if self.cfg.straggler_rate > 0.0 {
+                let mut rng = sdheap::rng::Rng::new(
+                    self.cfg.seed ^ STRAGGLER_SCOPE ^ task_scope(j, s, t),
+                );
+                if rng.gen_f64() < self.cfg.straggler_rate {
+                    service = nominal * self.cfg.straggler_factor;
+                    self.out.stragglers += 1;
+                    self.sink.count("cluster.stragglers", 1);
+                }
+            }
+            tasks.push(TaskState {
+                service_ns: service,
+                nominal_ns: nominal,
+                completed: false,
+                winner_exec: 0,
+                original: None,
+                spec: None,
+                spec_check: false,
+            });
+        }
+        self.jobs[j].stages.push(StageState {
+            kind,
+            tasks,
+            done: 0,
+            completed_services: Vec::new(),
+        });
+        for t in 0..n {
+            let a = self.attempts.len();
+            self.attempts.push(AttemptInfo {
+                job: j,
+                stage: s,
+                task: t,
+                speculative: false,
+                dispatched: false,
+                cancelled: false,
+                finished: false,
+                exec: 0,
+                start_ns: 0.0,
+                work_start_ns: 0.0,
+                finish_ns: 0.0,
+                du: None,
+            });
+            self.jobs[j].stages[s].tasks[t].original = Some(a);
+            self.pending.push_back(a);
+            self.pending_live += 1;
+        }
+    }
+
+    /// Greedily places pending attempts on free executors.
+    fn dispatch(&mut self, now: f64) {
+        while !self.free.is_empty() {
+            let a = loop {
+                match self.pending.pop_front() {
+                    Some(a) if self.attempts[a].cancelled => continue,
+                    Some(a) => break Some(a),
+                    None => break None,
+                }
+            };
+            let Some(a) = a else { break };
+            self.pending_live -= 1;
+            let e = *self.free.iter().next().expect("checked non-empty");
+            self.free.remove(&e);
+            self.name_exec(e);
+            self.exec_used[e] = true;
+            let info = self.attempts[a];
+            let (j, s, t) = (info.job, info.stage, info.task);
+            let profile = &self.profiles[self.jobs[j].tenant];
+            let backend = profile.template.backend;
+            let task = &self.jobs[j].stages[s].tasks[t];
+            let service = if info.speculative { task.nominal_ns } else { task.service_ns };
+
+            // Input fetches over the shared fabric, all issued at
+            // dispatch time; the ledgers serialize contending flows.
+            let mut ready = now;
+            match &profile.shape {
+                JobShape::Shuffle { reduces, .. } if s == 1 => {
+                    for &(src, bytes) in &reduces[t].inputs {
+                        let from = self.jobs[j].stages[0].tasks[src].winner_exec;
+                        let arr = self.fabric.send(from, e, bytes, now);
+                        ready = ready.max(arr);
+                        self.sink.count("cluster.fabric_messages", 1);
+                        self.sink.count("cluster.fabric_bytes", bytes);
+                    }
+                }
+                JobShape::Scan { parts, .. } if s > 0 => {
+                    let from = self.jobs[j].stages[0].tasks[t].winner_exec;
+                    if from != e {
+                        let bytes = parts[t].bytes;
+                        ready = ready.max(self.fabric.send(from, e, bytes, now));
+                        self.sink.count("cluster.fabric_messages", 1);
+                        self.sink.count("cluster.fabric_bytes", bytes);
+                    }
+                }
+                _ => {}
+            }
+
+            // Decode stages on the Cereal backend queue for one of the
+            // node's shared DU contexts.
+            let mut du = None;
+            let mut start = ready;
+            if backend == Backend::Cereal && profile.stage_decodes(s) {
+                let node = e / self.cfg.executors_per_node.max(1);
+                let pool = &mut self.du_free[node];
+                let ctx = (0..pool.len())
+                    .min_by(|&x, &y| pool[x].partial_cmp(&pool[y]).expect("finite"))
+                    .expect("every node has at least one DU context");
+                start = ready.max(pool[ctx]);
+                let wait = start - ready;
+                if wait > 0.0 {
+                    self.out.du_waits += 1;
+                    self.out.du_wait_ns += wait;
+                    self.sink.count("cluster.du_waits", 1);
+                    self.sink.observe("cluster.du_wait_ns", wait);
+                    if S::ENABLED {
+                        self.sink.span(Span {
+                            entity: EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_DU },
+                            name: "du.wait",
+                            t0_ns: ready,
+                            t1_ns: start,
+                            attrs: vec![("node", (node as u64).into())],
+                        });
+                    }
+                }
+                pool[ctx] = start + service;
+                du = Some((node, ctx));
+            }
+
+            let finish = start + service;
+            let at = &mut self.attempts[a];
+            at.dispatched = true;
+            at.exec = e;
+            at.start_ns = now;
+            at.work_start_ns = start;
+            at.finish_ns = finish;
+            at.du = du;
+            self.q.push(finish, Event::Finish(a));
+            self.running += 1;
+            self.out.max_running = self.out.max_running.max(self.running);
+            self.out.tasks_launched += 1;
+            self.sink.count("cluster.tasks_launched", 1);
+            self.sink.observe("cluster.task_service_ns", service);
+            if info.speculative {
+                self.out.spec_launches += 1;
+                self.sink.count("cluster.spec_launches", 1);
+                if S::ENABLED {
+                    self.sink.instant(Instant {
+                        entity: self.exec_entity(e),
+                        name: "spec.launch",
+                        t_ns: now,
+                        attrs: vec![("job", (j as u64).into()), ("task", (t as u64).into())],
+                    });
+                }
+            }
+        }
+        self.sink.gauge("cluster.queue_depth", self.pending_live as f64);
+        self.sink.gauge("cluster.running_tasks", self.running as f64);
+        self.out.max_queue_depth = self.out.max_queue_depth.max(self.pending_live as u64);
+    }
+
+    /// Kills a losing attempt: frees its executor immediately and
+    /// refunds its DU context if nothing queued behind it.
+    fn cancel(&mut self, loser: usize, now: f64) {
+        let info = self.attempts[loser];
+        if info.cancelled || info.finished {
+            return;
+        }
+        self.attempts[loser].cancelled = true;
+        if info.dispatched {
+            self.running -= 1;
+            self.free.insert(info.exec);
+            if let Some((node, ctx)) = info.du {
+                // Only refund if no later acquisition already queued on
+                // this context (its free time would have moved past ours).
+                if self.du_free[node][ctx] == info.finish_ns {
+                    self.du_free[node][ctx] = now;
+                }
+            }
+            if S::ENABLED {
+                self.sink.span(Span {
+                    entity: self.exec_entity(info.exec),
+                    name: "task.killed",
+                    t0_ns: info.start_ns,
+                    t1_ns: now,
+                    attrs: vec![("job", (info.job as u64).into())],
+                });
+            }
+        } else {
+            // Still queued: the dispatcher will skip the cancelled
+            // entry, so it stops being live now.
+            self.pending_live -= 1;
+        }
+    }
+
+    /// Once enough of a stage has completed, give each running laggard
+    /// one speculative copy — or schedule a re-check for the moment it
+    /// would become a laggard.
+    fn maybe_speculate(&mut self, now: f64, j: usize, s: usize) {
+        if !self.cfg.speculation {
+            return;
+        }
+        let stage = &self.jobs[j].stages[s];
+        let total = stage.tasks.len();
+        if stage.done == total {
+            return;
+        }
+        let quota = (self.cfg.spec_quantile * total as f64).ceil() as usize;
+        if stage.done < quota.max(1) {
+            return;
+        }
+        let mut sorted = stage.completed_services.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = sorted[sorted.len() / 2];
+        let candidates: Vec<usize> = (0..total)
+            .filter(|&t| {
+                let task = &self.jobs[j].stages[s].tasks[t];
+                !task.completed && task.spec.is_none()
+            })
+            .collect();
+        for t in candidates {
+            let Some(orig) = self.jobs[j].stages[s].tasks[t].original else { continue };
+            let oi = self.attempts[orig];
+            if !oi.dispatched || oi.cancelled || oi.finished {
+                continue;
+            }
+            // A task is a laggard when its elapsed *compute* time (the
+            // scheduler watched its fetches and DU wait end) exceeds
+            // the multiplier over the stage median — or over its own
+            // profiled nominal, so naturally long tasks (a hot skewed
+            // reducer) are not re-run just for being long.
+            let nominal = self.jobs[j].stages[s].tasks[t].nominal_ns;
+            let threshold = self.cfg.spec_multiplier * median.max(nominal);
+            if now - oi.work_start_ns > threshold {
+                self.launch_spec(j, s, t);
+            } else if !self.jobs[j].stages[s].tasks[t].spec_check {
+                // Not lagging yet: re-check exactly when it would be.
+                self.jobs[j].stages[s].tasks[t].spec_check = true;
+                self.q.push(oi.work_start_ns + threshold, Event::SpecCheck(orig));
+            }
+        }
+    }
+
+    fn launch_spec(&mut self, j: usize, s: usize, t: usize) {
+        let a = self.attempts.len();
+        self.attempts.push(AttemptInfo {
+            job: j,
+            stage: s,
+            task: t,
+            speculative: true,
+            dispatched: false,
+            cancelled: false,
+            finished: false,
+            exec: 0,
+            start_ns: 0.0,
+            work_start_ns: 0.0,
+            finish_ns: 0.0,
+            du: None,
+        });
+        self.jobs[j].stages[s].tasks[t].spec = Some(a);
+        self.pending.push_back(a);
+        self.pending_live += 1;
+    }
+
+    /// A deferred laggard re-check: the original is a laggard *now* if
+    /// it is still running — the stage quantile was already met when
+    /// the check was scheduled.
+    fn on_spec_check(&mut self, orig: usize) {
+        if !self.cfg.speculation {
+            return;
+        }
+        let oi = self.attempts[orig];
+        if oi.cancelled || oi.finished {
+            return;
+        }
+        let (j, s, t) = (oi.job, oi.stage, oi.task);
+        if self.jobs[j].stages[s].tasks[t].completed
+            || self.jobs[j].stages[s].tasks[t].spec.is_some()
+        {
+            return;
+        }
+        self.launch_spec(j, s, t);
+    }
+
+    fn on_finish(&mut self, now: f64, a: usize) -> Result<(), ClusterError> {
+        let info = self.attempts[a];
+        if info.cancelled {
+            // Killed earlier; its executor was already reclaimed.
+            return Ok(());
+        }
+        self.attempts[a].finished = true;
+        self.running -= 1;
+        self.free.insert(info.exec);
+        let (j, s, t) = (info.job, info.stage, info.task);
+        let service = if info.speculative {
+            self.jobs[j].stages[s].tasks[t].nominal_ns
+        } else {
+            self.jobs[j].stages[s].tasks[t].service_ns
+        };
+
+        // First completion wins; the sibling attempt (if any) dies now.
+        let other = {
+            let task = &self.jobs[j].stages[s].tasks[t];
+            debug_assert!(!task.completed, "second finisher should have been cancelled");
+            if info.speculative { task.original } else { task.spec }
+        };
+        if let Some(o) = other {
+            self.cancel(o, now);
+        }
+        {
+            let task = &mut self.jobs[j].stages[s].tasks[t];
+            task.completed = true;
+            task.winner_exec = info.exec;
+        }
+        let stage = &mut self.jobs[j].stages[s];
+        stage.done += 1;
+        stage.completed_services.push(service);
+        let stage_done = stage.done == stage.tasks.len();
+        let kind = stage.kind;
+        self.out.tasks_completed += 1;
+        self.out.busy_ns += service;
+        self.sink.count("cluster.tasks_completed", 1);
+        if S::ENABLED {
+            self.sink.span(Span {
+                entity: self.exec_entity(info.exec),
+                name: kind.span_name(),
+                t0_ns: info.start_ns,
+                t1_ns: now,
+                attrs: vec![
+                    ("job", (j as u64).into()),
+                    ("task", (t as u64).into()),
+                    ("tenant", (self.jobs[j].tenant as u64).into()),
+                ],
+            });
+        }
+        if info.speculative {
+            self.out.spec_wins += 1;
+            self.sink.count("cluster.spec_wins", 1);
+            if S::ENABLED {
+                self.sink.instant(Instant {
+                    entity: self.exec_entity(info.exec),
+                    name: "spec.win",
+                    t_ns: now,
+                    attrs: vec![("job", (j as u64).into()), ("task", (t as u64).into())],
+                });
+            }
+        }
+
+        if stage_done {
+            let profile = self.profile(j);
+            if s + 1 < profile.stages() {
+                self.jobs[j].stage = s + 1;
+                self.enqueue_stage(j, s + 1);
+            } else {
+                self.complete_job(now, j)?;
+            }
+        } else {
+            self.maybe_speculate(now, j, s);
+        }
+        Ok(())
+    }
+
+    /// Re-merges the job's fold from its winning attempts' task outputs
+    /// and checks it against the profile digest, then books completion.
+    fn complete_job(&mut self, now: f64, j: usize) -> Result<(), ClusterError> {
+        let tenant = self.jobs[j].tenant;
+        let profile = &self.profiles[tenant];
+        let mut merged: Fold = Fold::new();
+        match &profile.shape {
+            JobShape::Shuffle { reduces, .. } => {
+                for r in reduces {
+                    for (&k, &(c, sum)) in &r.fold {
+                        let e = merged.entry(k).or_insert((0, 0.0));
+                        e.0 += c;
+                        e.1 += sum;
+                    }
+                }
+            }
+            JobShape::Scan { parts, .. } => {
+                for p in parts {
+                    for (&k, &(c, sum)) in &p.fold {
+                        let e = merged.entry(k).or_insert((0, 0.0));
+                        e.0 += c;
+                        e.1 += sum;
+                    }
+                }
+            }
+        }
+        let digest = fold_checksum(&merged);
+        if digest != profile.fold_checksum {
+            return Err(ClusterError::JobFoldMismatch { job: j, tenant });
+        }
+        self.job_digests[j] = digest;
+        self.jobs[j].done = true;
+        let latency = now - self.jobs[j].arrival_ns;
+        self.out.jobs_completed += 1;
+        self.out.makespan_ns = self.out.makespan_ns.max(now);
+        self.out.job_latency_sum_ns += latency;
+        self.out.job_latency_max_ns = self.out.job_latency_max_ns.max(latency);
+        self.out.per_tenant[tenant].jobs += 1;
+        self.out.per_tenant[tenant].latency_sum_ns += latency;
+        self.sink.count("cluster.jobs_completed", 1);
+        self.sink.observe("cluster.job_latency_ns", latency);
+        self.sink
+            .count(TENANT_JOB_COUNTERS[tenant.min(TENANT_JOB_COUNTERS.len() - 1)], 1);
+        Ok(())
+    }
+}
+
+/// Runs the cluster to completion (untraced).
+///
+/// # Errors
+/// Propagates profile-building failures and fold-integrity violations.
+pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> {
+    run_cluster_sunk(cfg, &mut NoopSink)
+}
+
+/// [`run_cluster`] with a telemetry sink: arrival instants on the
+/// driver lane, per-executor `task.*` spans, `du.wait` spans,
+/// `spec.launch`/`spec.win` instants, queue-depth and running-task
+/// gauges, and every `cluster.*` counter booked at its event site. The
+/// returned outcome is identical to the untraced path for any sink.
+///
+/// # Errors
+/// Same as [`run_cluster`].
+pub fn run_cluster_sunk<S: Sink>(
+    cfg: &ClusterConfig,
+    sink: &mut S,
+) -> Result<ClusterOutcome, ClusterError> {
+    assert!(cfg.executors > 0, "cluster needs executors");
+    assert!(cfg.tenants > 0, "cluster needs tenants");
+    let profiles = build_profiles(cfg)?;
+
+    // Calibrate the arrival rate to the target executor load: with
+    // `mean_job_service` total work per job, an inter-arrival gap of
+    // work / (load × executors) keeps the offered load constant across
+    // cluster sizes.
+    let mean_job_service: f64 =
+        profiles.iter().map(|p| p.total_service_ns).sum::<f64>() / profiles.len() as f64;
+    let mean_inter = mean_job_service / (cfg.target_load.max(1e-6) * cfg.executors as f64);
+    let arrivals = crate::job::arrivals(cfg, mean_inter);
+
+    if S::ENABLED {
+        sink.name_process(DRIVER_PID, "cluster driver");
+        sink.name_thread(DRIVER_PID, T_MAIN, "scheduler");
+    }
+
+    let mut sched = Sched {
+        cfg,
+        profiles: &profiles,
+        jobs: Vec::with_capacity(arrivals.len()),
+        attempts: Vec::new(),
+        pending: VecDeque::new(),
+        pending_live: 0,
+        free: (0..cfg.executors).collect(),
+        fabric: Fabric::full_mesh(cfg.executors, cfg.executors, cfg.link),
+        du_free: vec![vec![0.0; cfg.du_contexts_per_node.max(1)]; cfg.nodes()],
+        q: EventQueue::new(),
+        named: vec![false; cfg.executors],
+        exec_used: vec![false; cfg.executors],
+        running: 0,
+        out: ClusterOutcome {
+            arrivals: 0,
+            jobs_completed: 0,
+            tasks_launched: 0,
+            tasks_completed: 0,
+            stragglers: 0,
+            spec_launches: 0,
+            spec_wins: 0,
+            du_waits: 0,
+            du_wait_ns: 0.0,
+            fabric_messages: 0,
+            fabric_bytes: 0,
+            makespan_ns: 0.0,
+            job_latency_sum_ns: 0.0,
+            job_latency_max_ns: 0.0,
+            max_queue_depth: 0,
+            max_running: 0,
+            executors_used: 0,
+            busy_ns: 0.0,
+            per_tenant: vec![TenantStats::default(); cfg.tenants],
+            fold_checksum: 0,
+        },
+        job_digests: vec![0; arrivals.len()],
+        sink,
+    };
+
+    for (jid, a) in arrivals.iter().enumerate() {
+        sched.jobs.push(JobState {
+            tenant: a.tenant,
+            arrival_ns: a.t_ns,
+            stage: 0,
+            stages: Vec::new(),
+            done: false,
+        });
+        sched.q.push(a.t_ns, Event::Arrival(jid));
+    }
+
+    while let Some((now, ev)) = sched.q.pop() {
+        match ev {
+            Event::Arrival(jid) => {
+                sched.out.arrivals += 1;
+                sched.sink.count("cluster.arrivals", 1);
+                if S::ENABLED {
+                    let tenant = sched.jobs[jid].tenant as u64;
+                    sched.sink.instant(Instant {
+                        entity: EntityId { pid: DRIVER_PID, tid: T_MAIN },
+                        name: "job.arrival",
+                        t_ns: now,
+                        attrs: vec![("job", (jid as u64).into()), ("tenant", tenant.into())],
+                    });
+                }
+                sched.enqueue_stage(jid, 0);
+            }
+            Event::Finish(a) => sched.on_finish(now, a)?,
+            Event::SpecCheck(orig) => sched.on_spec_check(orig),
+        }
+        sched.dispatch(now);
+    }
+
+    assert!(sched.jobs.iter().all(|j| j.done), "the run must drain every job");
+    assert_eq!(sched.pending_live, 0, "no attempts may be left queued");
+    sched.out.executors_used = sched.exec_used.iter().filter(|&&u| u).count() as u64;
+    sched.out.fabric_messages = sched.fabric.messages();
+    sched.out.fabric_bytes = sched.fabric.total_bytes();
+    // Digest of digests, in arrival order — stable across scheduling
+    // differences (speculation, contention) by construction.
+    let mut fold: Fold = Fold::new();
+    for (i, &d) in sched.job_digests.iter().enumerate() {
+        fold.insert(i as u64, (1, f64::from_bits(d)));
+    }
+    sched.out.fold_checksum = fold_checksum(&fold);
+    Ok(sched.out)
+}

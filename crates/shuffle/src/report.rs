@@ -185,8 +185,10 @@ impl ShuffleReport {
 }
 
 /// FNV-1a over the merged aggregate, for cross-backend/cross-run
-/// equality checks that survive JSON round trips.
-pub(crate) fn fold_checksum(fold: &std::collections::BTreeMap<u64, (u64, f64)>) -> u64 {
+/// equality checks that survive JSON round trips. Public because the
+/// cluster scheduler digests job folds with the same function, so its
+/// checksums are comparable to shuffle-report checksums.
+pub fn fold_checksum(fold: &std::collections::BTreeMap<u64, (u64, f64)>) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut mix = |v: u64| {
         for b in v.to_be_bytes() {

@@ -161,11 +161,23 @@ pub struct NetWindow {
 /// message pays roughly three service times plus the latency; under
 /// incast the ingress hop dominates, exactly the behaviour end-to-end
 /// shuffle experiments need.
+///
+/// Pair-link state is **lazy**: a link's ledger materializes on its
+/// first message, so a 1000-endpoint mesh (a million logical pairs —
+/// cluster-scale experiments) costs memory only for the pairs that
+/// actually carry traffic. An untouched pair still reads as a valid,
+/// idle link through [`Fabric::pair`].
 #[derive(Clone, Debug)]
 pub struct Fabric {
     cfg: LinkConfig,
+    senders: usize,
     receivers: usize,
-    pairs: Vec<Link>,
+    /// Pair links keyed by `src * receivers + dst`, created on first
+    /// send. Aggregate counters come from the egress NICs, so this map
+    /// is never iterated — ordering is irrelevant.
+    pairs: std::collections::HashMap<usize, Link>,
+    /// What an untouched pair looks like: an idle link.
+    idle_pair: Link,
     egress: Vec<Link>,
     ingress: Vec<Link>,
     /// Transit tape, recorded only when telemetry asks for it.
@@ -185,8 +197,10 @@ impl Fabric {
         };
         Fabric {
             cfg,
+            senders,
             receivers,
-            pairs: vec![Link::new(cfg); senders * receivers],
+            pairs: std::collections::HashMap::new(),
+            idle_pair: Link::new(cfg),
             egress: vec![Link::new(nic); senders],
             ingress: vec![Link::new(nic); receivers],
             tape: None,
@@ -216,8 +230,14 @@ impl Fabric {
     /// # Panics
     /// Panics if `src`/`dst` are out of range (debug builds index-check).
     pub fn send(&mut self, src: usize, dst: usize, bytes: u64, now_ns: f64) -> f64 {
+        assert!(src < self.senders && dst < self.receivers, "endpoint out of range");
         let out = self.egress[src].send(bytes, now_ns);
-        let wire = self.pairs[src * self.receivers + dst].send(bytes, out);
+        let cfg = self.cfg;
+        let wire = self
+            .pairs
+            .entry(src * self.receivers + dst)
+            .or_insert_with(|| Link::new(cfg))
+            .send(bytes, out);
         let arrival = self.ingress[dst].send(bytes, wire);
         if let Some(tape) = &mut self.tape {
             tape.push(NetWindow {
@@ -233,9 +253,21 @@ impl Fabric {
         arrival
     }
 
-    /// The point-to-point link between `src` and `dst`.
+    /// The point-to-point link between `src` and `dst`. A pair that has
+    /// never carried a message reads as an idle link (zero bytes, zero
+    /// messages) without materializing any state.
     pub fn pair(&self, src: usize, dst: usize) -> &Link {
-        &self.pairs[src * self.receivers + dst]
+        assert!(src < self.senders && dst < self.receivers, "endpoint out of range");
+        self.pairs
+            .get(&(src * self.receivers + dst))
+            .unwrap_or(&self.idle_pair)
+    }
+
+    /// How many pair links have materialized ledgers — the lazy mesh's
+    /// actual footprint, as opposed to the `senders × receivers`
+    /// logical pairs.
+    pub fn materialized_pairs(&self) -> usize {
+        self.pairs.len()
     }
 
     /// Total bytes crossing the fabric (counted once per message).

@@ -153,3 +153,30 @@ fn fabric_pair_counters_and_utilization() {
     let util = f.ingress_utilization(t2);
     assert!(util > 0.0 && util <= 1.0, "util {util}");
 }
+
+#[test]
+fn fabric_pair_links_materialize_lazily() {
+    // A cluster-scale mesh: a million logical pairs must not allocate a
+    // million ledgers up front. Only touched pairs materialize, and
+    // untouched pairs still read as idle links.
+    let mut f = Fabric::full_mesh(1000, 1000, LinkConfig::ten_gbe());
+    assert_eq!(f.materialized_pairs(), 0, "construction allocates no pair links");
+    let t1 = f.send(3, 997, 1250, 0.0);
+    let t2 = f.send(3, 997, 1250, t1);
+    f.send(500, 0, 1250, 0.0);
+    assert_eq!(f.materialized_pairs(), 2, "one link per touched pair");
+    assert_eq!(f.pair(3, 997).messages(), 2);
+    assert_eq!(f.pair(3, 997).total_bytes(), 2500);
+    assert_eq!(f.pair(0, 3).messages(), 0, "untouched pair reads as idle");
+    assert_eq!(f.pair(999, 999).total_bytes(), 0);
+    assert_eq!(f.messages(), 3);
+    assert_eq!(f.total_bytes(), 3750);
+
+    // Lazy materialization changes footprint only: arrival times match a
+    // small eager-era mesh hop for hop.
+    let mut small = Fabric::full_mesh(2, 2, LinkConfig::ten_gbe());
+    let s1 = small.send(0, 1, 1250, 0.0);
+    let s2 = small.send(0, 1, 1250, s1);
+    assert_eq!(t1, s1);
+    assert_eq!(t2, s2);
+}

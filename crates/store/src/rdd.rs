@@ -19,7 +19,6 @@
 use std::collections::BTreeMap;
 
 use sdheap::gc;
-use sdheap::rng::Rng;
 use sdheap::{Addr, Heap, KlassRegistry};
 use sim::{DiskConfig, FaultConfig};
 use telemetry::ids::{DRIVER_PID, T_DISK, T_MAIN};
@@ -276,9 +275,11 @@ fn pass_order(cfg: &RddConfig, pass: usize) -> Vec<usize> {
     match cfg.access {
         AccessPattern::Scan => (0..n).collect(),
         AccessPattern::Zipf(theta) => {
-            let zipf = workloads::Zipf::new(n as u64, theta);
-            let mut rng = Rng::new(cfg.agg.seed ^ (0xD15C_0000 + pass as u64));
-            (0..n).map(|_| zipf.sample(&mut rng) as usize).collect()
+            // SkewSampler reproduces the historical Zipf::new + Rng::new
+            // stream draw for draw, so report bytes are unchanged.
+            let mut skew =
+                workloads::SkewSampler::new(n as u64, theta, cfg.agg.seed ^ (0xD15C_0000 + pass as u64));
+            (0..n).map(|_| skew.next() as usize).collect()
         }
     }
 }

@@ -14,6 +14,10 @@ pub const MAPPER_PID_BASE: u32 = 100;
 pub const REDUCER_PID_BASE: u32 = 200;
 /// The Cereal accelerator device.
 pub const ACCEL_PID: u32 = 900;
+/// Cluster executor `e` is process `CLUSTER_PID_BASE + e`. The base
+/// sits far above the other ranges so 1000-executor clusters cannot
+/// collide with mapper/reducer/accelerator pids.
+pub const CLUSTER_PID_BASE: u32 = 10_000;
 
 /// Main work stream of an executor (serialize / deserialize / driver).
 pub const T_MAIN: u32 = 0;
@@ -23,6 +27,9 @@ pub const T_DISK: u32 = 1;
 pub const T_SEND: u32 = 2;
 /// NIC busy windows (egress on mappers, ingress on reducers).
 pub const T_NIC: u32 = 3;
+/// DU-context wait stream of a cluster executor (queueing for a shared
+/// accelerator deserialization context).
+pub const T_DU: u32 = 4;
 
 /// Accelerator SU `u` traces on thread `u`; DU `u` on
 /// `DU_TID_BASE + u`.

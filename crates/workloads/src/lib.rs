@@ -20,4 +20,4 @@ pub use jsbs::{catalog, media_content, LibClass, LibraryProfile};
 pub use micro::{MicroBench, Scale};
 pub use spark::agg::{AggConfig, AggPartition, KeySkew};
 pub use spark::{phases, SparkApp, SparkDataset, SparkScale};
-pub use zipf::Zipf;
+pub use zipf::{SkewSampler, Zipf};

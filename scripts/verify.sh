@@ -75,4 +75,15 @@ cmp target/trace_report_jobs1.json target/trace_report_jobs4.json \
 cmp target/trace_jobs1.json target/trace_jobs4.json \
   || { echo "chrome trace differs between 1 and 4 jobs"; exit 1; }
 
+echo "== cluster smoke + thread-count determinism =="
+# The binary itself asserts speculation preserves every job's fold and
+# never worsens the makespan, reconciles the exported telemetry
+# counters against its report, and exits non-zero on any mismatch.
+cargo run --release -p cereal-bench --bin cluster $CARGO_FLAGS -- \
+  --smoke --jobs 1 --out target/cluster_jobs1.json
+cargo run --release -p cereal-bench --bin cluster $CARGO_FLAGS -- \
+  --smoke --jobs 4 --out target/cluster_jobs4.json
+cmp target/cluster_jobs1.json target/cluster_jobs4.json \
+  || { echo "cluster report differs between 1 and 4 jobs"; exit 1; }
+
 echo "verify: OK"
