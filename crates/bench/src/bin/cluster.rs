@@ -1,25 +1,33 @@
 //! The cluster-scheduler experiment (`cargo run --release --bin cluster`).
 //!
-//! Sweeps the event-driven multi-tenant cluster across four axes —
-//! executor count, tenant-arrival skew, DU contexts per node, and
-//! straggler rate (the last with speculation off and on) — and writes
-//! `BENCH_CLUSTER.json`. Every number is simulated time or a
+//! Sweeps the event-driven multi-tenant cluster across four healthy
+//! axes — executor count, tenant-arrival skew, DU contexts per node,
+//! and straggler rate (the last with speculation off and on) — plus
+//! five fault axes: executor-crash rate, heartbeat period (at a fixed
+//! crash rate), blacklist threshold (at a fixed task-failure rate),
+//! DU-device-failure rate, and admission watermark under overload.
+//! Writes `BENCH_CLUSTER.json`. Every number is simulated time or a
 //! deterministic counter: the file is byte-identical for any `--jobs`
 //! value (CI diffs a 1-job run against a 4-job run).
 //!
-//! Two self-checks ride along and exit non-zero on failure:
+//! Several self-checks ride along and exit non-zero on failure:
 //!
 //! * **speculation** — at every straggler rate, the speculation-on run
 //!   must complete the same jobs with the same fold digests at a
 //!   makespan no worse than speculation-off; at rate 0 it must launch
 //!   zero copies;
-//! * **telemetry reconciliation** — one cell re-runs under a
-//!   [`Recorder`] and every `cluster.*` counter the scheduler booked at
-//!   its event site is checked against the report's independently
-//!   accumulated fields (the fabric ledger cross-checks the fabric
-//!   counters), gauges against the tracked maxima, histogram
-//!   count/sum against the latency totals, and the traced outcome
-//!   against the untraced one.
+//! * **fault accounting** — every fault cell must account for every
+//!   arrival (completed + shed + failed), pair every crash with exactly
+//!   one detection and one restart, and the crash-0 cell (with
+//!   detection knobs deliberately tweaked) must be byte-identical to a
+//!   run with no fault domain at all;
+//! * **telemetry reconciliation** — one healthy cell and one fault-storm
+//!   cell re-run under a [`Recorder`] and every `cluster.*` counter the
+//!   scheduler booked at its event site is checked against the report's
+//!   independently accumulated fields (the fabric ledger cross-checks
+//!   the fabric counters), gauges against the tracked maxima, histogram
+//!   count/sum against the latency and waste totals, and the traced
+//!   outcome against the untraced one.
 //!
 //! Flags: `--smoke` (small config), `--jobs N` (worker threads),
 //! `--out PATH` (default `BENCH_CLUSTER.json`).
@@ -37,6 +45,30 @@ fn run_cell(cfg: &ClusterConfig) -> CellResult {
         std::process::exit(1);
     });
     CellResult { cfg: *cfg, outcome }
+}
+
+/// Runs one fault-sweep cell and asserts the terminal-accounting
+/// invariants every faulted run must satisfy: no arrival may vanish,
+/// every crash is detected exactly once, every death brings a restart.
+fn run_fault_cell(cfg: &ClusterConfig) -> CellResult {
+    let cell = run_cell(cfg);
+    let o = &cell.outcome;
+    assert_eq!(
+        o.jobs_completed + o.jobs_shed + o.jobs_failed,
+        o.arrivals,
+        "fault cell lost a job: {} completed + {} shed + {} failed != {} arrivals",
+        o.jobs_completed,
+        o.jobs_shed,
+        o.jobs_failed,
+        o.arrivals
+    );
+    assert_eq!(
+        o.heartbeat_deaths + o.fetch_fail_deaths,
+        o.exec_crashes,
+        "every crash must be declared dead exactly once"
+    );
+    assert_eq!(o.restarts, o.exec_crashes, "every declared death must restart");
+    cell
 }
 
 /// One reconciliation check; failures are reported, not fatal per-check.
@@ -87,6 +119,38 @@ fn reconcile(cfg: &ClusterConfig, untraced: &ClusterOutcome) -> Recon {
     // the counters from event-site booking — a genuine cross-check.
     r.eq_u64(m.counter("cluster.fabric_messages"), traced.fabric_messages, "fabric_messages");
     r.eq_u64(m.counter("cluster.fabric_bytes"), traced.fabric_bytes, "fabric_bytes");
+    // The fault ledger: every counter the fault domain books at its
+    // event site (all zero, and checked to be zero, on healthy cells).
+    r.eq_u64(m.counter("cluster.jobs_shed"), traced.jobs_shed, "jobs_shed");
+    r.eq_u64(m.counter("cluster.jobs_failed"), traced.jobs_failed, "jobs_failed");
+    r.eq_u64(m.counter("cluster.exec_crashes"), traced.exec_crashes, "exec_crashes");
+    r.eq_u64(m.counter("cluster.node_crashes"), traced.node_crashes, "node_crashes");
+    r.eq_u64(m.counter("cluster.heartbeat_deaths"), traced.heartbeat_deaths, "heartbeat_deaths");
+    r.eq_u64(m.counter("cluster.fetch_fail_deaths"), traced.fetch_fail_deaths, "fetch_fail_deaths");
+    r.eq_u64(m.counter("cluster.crash_task_kills"), traced.crash_task_kills, "crash_task_kills");
+    r.eq_u64(m.counter("cluster.task_failures"), traced.task_failures, "task_failures");
+    r.eq_u64(m.counter("cluster.task_retries"), traced.task_retries, "task_retries");
+    r.eq_u64(m.counter("cluster.crash_requeues"), traced.crash_requeues, "crash_requeues");
+    r.eq_u64(m.counter("cluster.recomputes"), traced.recomputes, "recomputes");
+    r.eq_u64(m.counter("cluster.blacklists"), traced.blacklists, "blacklists");
+    r.eq_u64(m.counter("cluster.blacklist_rejoins"), traced.blacklist_rejoins, "blacklist_rejoins");
+    r.eq_u64(m.counter("cluster.restarts"), traced.restarts, "restarts");
+    r.eq_u64(
+        m.counter("cluster.du_device_failures"),
+        traced.du_device_failures,
+        "du_device_failures",
+    );
+    r.eq_u64(m.counter("cluster.degraded_tasks"), traced.degraded_tasks, "degraded_tasks");
+    match m.histogram("cluster.wasted_ns") {
+        Some(h) => r.close_f64(h.sum, traced.wasted_ns, "wasted_ns sum"),
+        None => r.ok(traced.wasted_ns == 0.0, "wasted_ns histogram missing"),
+    }
+    match m.histogram("cluster.recompute_service_ns") {
+        Some(h) => r.close_f64(h.sum, traced.recompute_busy_ns, "recompute_service_ns sum"),
+        None => {
+            r.ok(traced.recompute_busy_ns == 0.0, "recompute_service_ns histogram missing");
+        }
+    }
     let per_tenant: u64 = (0..cfg.tenants.min(8))
         .map(|t| m.counter(["cluster.tenant0.jobs", "cluster.tenant1.jobs",
             "cluster.tenant2.jobs", "cluster.tenant3.jobs", "cluster.tenant4.jobs",
@@ -240,6 +304,87 @@ fn main() {
     }
     let clean_makespan = straggler_cells[0].outcome.makespan_ns;
 
+    // ---- Fault sweeps ----------------------------------------------------
+    // All fault cells run with stragglers + speculation on: recovery has
+    // to coexist with the speculative copies, not assume a quiet cluster.
+    let crash_axis: &[f64] = if smoke { &[0.0, 0.05] } else { &[0.0, 0.05, 0.15] };
+    let heartbeat_axis: &[f64] =
+        if smoke { &[10_000.0, 200_000.0] } else { &[10_000.0, 50_000.0, 200_000.0] };
+    let blacklist_axis: &[u32] = if smoke { &[0, 2] } else { &[0, 2, 6] };
+    let du_fail_axis: &[f64] = if smoke { &[0.0, 0.25] } else { &[0.0, 0.05, 0.25] };
+    let shed_axis: &[usize] = if smoke { &[0, 4] } else { &[0, 8] };
+
+    let mut fault_base = base;
+    fault_base.straggler_rate = *straggler_axis.last().expect("axis non-empty");
+    fault_base.speculation = true;
+
+    // Crash-rate sweep, with the detection knobs deliberately off their
+    // defaults so the crash-0 cell proves they are inert at rate 0.
+    let mut crash_cells = Vec::new();
+    for &rate in crash_axis {
+        let mut cfg = fault_base;
+        cfg.fault.exec_crash_rate = rate;
+        cfg.fault.heartbeat_period_ns = 50_000.0;
+        cfg.fault.blacklist_threshold = 2;
+        crash_cells.push(run_fault_cell(&cfg));
+    }
+    let fault_free = run_cell(&fault_base);
+    assert_eq!(
+        crash_cells[0].outcome, fault_free.outcome,
+        "a zero-rate fault config must be a byte-identical no-op"
+    );
+
+    // Heartbeat-period sweep at a fixed crash rate: slower detection
+    // leaves doomed attempts undetected longer, inflating waste.
+    let mut heartbeat_cells = Vec::new();
+    for &period in heartbeat_axis {
+        let mut cfg = fault_base;
+        cfg.fault.exec_crash_rate = 0.05;
+        cfg.fault.heartbeat_period_ns = period;
+        heartbeat_cells.push(run_fault_cell(&cfg));
+    }
+
+    // Blacklist-threshold sweep at a fixed clean-task-failure rate
+    // (threshold 0 disables blacklisting — the baseline).
+    let mut blacklist_cells = Vec::new();
+    for &threshold in blacklist_axis {
+        let mut cfg = fault_base;
+        cfg.fault.task_fail_rate = 0.08;
+        cfg.fault.blacklist_threshold = threshold;
+        blacklist_cells.push(run_fault_cell(&cfg));
+    }
+
+    // DU-device-failure sweep: failed nodes degrade to the software
+    // fallback backend; no job may be lost, only slowed.
+    let mut du_fail_cells = Vec::new();
+    for &rate in du_fail_axis {
+        let mut cfg = fault_base;
+        cfg.fault.du_fail_rate = rate;
+        let cell = run_fault_cell(&cfg);
+        assert_eq!(
+            cell.outcome.jobs_completed, cell.outcome.arrivals,
+            "DU degradation alone must never lose a job"
+        );
+        du_fail_cells.push(cell);
+    }
+    assert_eq!(
+        du_fail_cells[0].outcome.fold_checksum,
+        du_fail_cells.last().expect("cells").outcome.fold_checksum,
+        "degraded decodes must reproduce the healthy fold digest"
+    );
+
+    // Admission-control sweep under 4x overload on a small cluster —
+    // the full fleet drains too fast for the backlog to ever reach the
+    // watermark (watermark 0 = off).
+    let mut shed_cells = Vec::new();
+    for &depth in shed_axis {
+        let mut cfg = fault_base;
+        cfg.executors = 64;
+        cfg.target_load = 4.0;
+        cfg.fault.shed_queue_depth = depth;
+        shed_cells.push(run_fault_cell(&cfg));
+    }
+
     let mut t = Table::new(&[
         "sweep", "exec", "theta", "du/node", "rate", "spec", "makespan", "mean lat",
         "du waits", "spec wins", "x clean",
@@ -277,6 +422,48 @@ fn main() {
     }
     eprintln!("{}", t.render());
 
+    // ---- Fault table -----------------------------------------------------
+    // Makespan inflation ("x base") is against each sweep's own first
+    // cell: crash 0, the fastest heartbeat, threshold 0, DU-fail 0,
+    // watermark off.
+    let mut ft = Table::new(&[
+        "sweep", "crash", "hb ns", "blk", "du fail", "shed", "makespan", "goodput",
+        "recompute", "shed rate", "failed", "x base",
+    ]);
+    let mut fault_row = |label: &str, c: &CellResult, baseline_ns: f64| {
+        let o = &c.outcome;
+        ft.row(vec![
+            label.to_string(),
+            format!("{}", c.cfg.fault.exec_crash_rate),
+            format!("{}", c.cfg.fault.heartbeat_period_ns),
+            c.cfg.fault.blacklist_threshold.to_string(),
+            format!("{}", c.cfg.fault.du_fail_rate),
+            c.cfg.fault.shed_queue_depth.to_string(),
+            ns(o.makespan_ns),
+            format!("{:.4}", o.goodput()),
+            format!("{:.4}", o.recompute_share()),
+            format!("{:.4}", o.shed_rate()),
+            o.jobs_failed.to_string(),
+            format!("{:.2}", o.makespan_ns / baseline_ns),
+        ]);
+    };
+    for c in &crash_cells {
+        fault_row("crash", c, crash_cells[0].outcome.makespan_ns);
+    }
+    for c in &heartbeat_cells {
+        fault_row("heartbeat", c, heartbeat_cells[0].outcome.makespan_ns);
+    }
+    for c in &blacklist_cells {
+        fault_row("blacklist", c, blacklist_cells[0].outcome.makespan_ns);
+    }
+    for c in &du_fail_cells {
+        fault_row("du-fail", c, du_fail_cells[0].outcome.makespan_ns);
+    }
+    for c in &shed_cells {
+        fault_row("admission", c, shed_cells[0].outcome.makespan_ns);
+    }
+    eprintln!("{}", ft.render());
+
     // ---- Telemetry reconciliation --------------------------------------
     // The most eventful cell: stragglers, speculation, DU contention.
     let mut recon_cfg = base;
@@ -290,6 +477,22 @@ fn main() {
         "cluster: telemetry reconciliation {}/{} checks passed",
         recon.checks - recon.failures,
         recon.checks
+    );
+
+    // And the most faulted cell: a crash + task-failure + DU-failure
+    // storm with blacklisting, so every fault counter is non-trivially
+    // exercised against the trace.
+    let mut fault_recon_cfg = recon_cfg;
+    fault_recon_cfg.fault.exec_crash_rate = 0.05;
+    fault_recon_cfg.fault.task_fail_rate = 0.08;
+    fault_recon_cfg.fault.du_fail_rate = 0.1;
+    fault_recon_cfg.fault.blacklist_threshold = 2;
+    let fault_recon_cell = run_fault_cell(&fault_recon_cfg);
+    let fault_recon = reconcile(&fault_recon_cfg, &fault_recon_cell.outcome);
+    eprintln!(
+        "cluster: fault-storm reconciliation {}/{} checks passed",
+        fault_recon.checks - fault_recon.failures,
+        fault_recon.checks
     );
 
     let mut w = JsonWriter::new();
@@ -323,10 +526,42 @@ fn main() {
         c.render(&mut w);
     }
     w.end_arr();
+    w.key("crash_sweep");
+    w.begin_arr();
+    for c in &crash_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("heartbeat_sweep");
+    w.begin_arr();
+    for c in &heartbeat_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("blacklist_sweep");
+    w.begin_arr();
+    for c in &blacklist_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("du_failure_sweep");
+    w.begin_arr();
+    for c in &du_fail_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
+    w.key("admission_sweep");
+    w.begin_arr();
+    for c in &shed_cells {
+        c.render(&mut w);
+    }
+    w.end_arr();
     w.key("reconciliation");
     w.begin_obj();
     w.field_u64("checks", recon.checks);
     w.field_u64("failures", recon.failures);
+    w.field_u64("fault_checks", fault_recon.checks);
+    w.field_u64("fault_failures", fault_recon.failures);
     w.end_obj();
     w.end_obj();
     let mut json = w.finish();
@@ -334,8 +569,11 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 
-    if recon.failures > 0 {
-        eprintln!("cluster: {} reconciliation checks failed", recon.failures);
+    if recon.failures + fault_recon.failures > 0 {
+        eprintln!(
+            "cluster: {} reconciliation checks failed",
+            recon.failures + fault_recon.failures
+        );
         std::process::exit(1);
     }
 }

@@ -34,10 +34,24 @@
 //!   (first-completion-wins, the loser killed and its executor and DU
 //!   context reclaimed). Copies replay the same profile, so folds stay
 //!   bit-identical — speculation moves time, never answers;
+//! * **a cluster fault domain** — seeded executor crashes and whole-node
+//!   failures ([`ClusterFaultConfig`], scoped [`sim::FaultInjector`]
+//!   streams keyed by the stable executor entity ids), a heartbeat/lease
+//!   failure detector on the event clock (miss-threshold → declared
+//!   dead, in-flight attempts killed with DU reservations refunded,
+//!   lost stage-0 outputs recomputed Spark-style), fetch failures that
+//!   detect silent deaths ahead of the heartbeat timeout, per-executor
+//!   failure accounting with blacklisting (drain + seeded-cooldown
+//!   rejoin), DU device failures that degrade a node's Cereal decodes
+//!   to a profiled software fallback, bounded job-level retries with
+//!   exponential backoff, and admission control that sheds arrivals
+//!   past a queue-depth watermark. Every recovery path re-merges the
+//!   exact profile fold digest — jobs either complete bit-identically
+//!   or are reported shed / exhausted-retries, never silently wrong;
 //! * **telemetry twins** — [`run_cluster_sunk`] books every counter,
-//!   gauge and span at the event site; the `cluster` bench binary
-//!   reconciles the exported counters against the report and exits
-//!   non-zero on any mismatch.
+//!   gauge and span at the event site (fault lifecycle on the `T_FAIL`
+//!   lanes); the `cluster` bench binary reconciles the exported
+//!   counters against the report and exits non-zero on any mismatch.
 //!
 //! Determinism: profile building fans out over real threads
 //! ([`ClusterConfig::jobs`] via [`store::par_map`]), but per-task
@@ -59,6 +73,7 @@ pub use report::CellResult;
 pub use sched::{run_cluster, run_cluster_sunk, ClusterOutcome, TenantStats};
 
 use sim::LinkConfig;
+use store::Backend;
 
 /// Errors the cluster scheduler can surface. Profile building runs real
 /// executors, so their typed errors propagate; the scheduler itself
@@ -106,6 +121,92 @@ impl From<shuffle::ShuffleError> for ClusterError {
     }
 }
 
+/// The cluster fault domain: seeded executor crashes, whole-node
+/// failures, spurious task failures, DU device failures, and the
+/// recovery machinery that answers them (heartbeat detection,
+/// blacklisting, retries with backoff, admission control).
+///
+/// All rates are per-dispatch probabilities drawn from scoped
+/// [`sim::FaultInjector`] streams — executor streams keyed by the
+/// executor's stable telemetry entity id (`CLUSTER_PID_BASE + e`), node
+/// streams by the node index — so the fault schedule is a pure function
+/// of `(seed, entity)` and byte-identical for any `--jobs` thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterFaultConfig {
+    /// Probability per dispatched attempt that the hosting executor
+    /// crashes mid-service (silent — detected by heartbeat or by a
+    /// later fetch failure).
+    pub exec_crash_rate: f64,
+    /// Probability per dispatched attempt that the hosting executor's
+    /// whole node fails, crashing every executor on it.
+    pub node_fail_rate: f64,
+    /// Probability per dispatched attempt that the attempt fails
+    /// cleanly (the executor survives and reports the failure).
+    pub task_fail_rate: f64,
+    /// Probability per DU-context acquisition that the node's DU device
+    /// fails permanently, degrading the node's Cereal decodes to the
+    /// profiled `fallback` software backend.
+    pub du_fail_rate: f64,
+    /// Heartbeat/lease period on the event clock (ns).
+    pub heartbeat_period_ns: f64,
+    /// Consecutive missed heartbeats before a crashed executor is
+    /// declared dead.
+    pub heartbeat_misses: u32,
+    /// Time from a declared death until the replacement executor
+    /// re-registers (ns).
+    pub restart_ns: f64,
+    /// Clean task failures on one executor before it is blacklisted
+    /// (0 disables blacklisting).
+    pub blacklist_threshold: u32,
+    /// Base cooldown before a blacklisted executor rejoins (ns); the
+    /// actual cooldown is jittered by the executor's fault stream.
+    pub blacklist_cooldown_ns: f64,
+    /// Task re-enqueues (of any cause) a job may consume before it is
+    /// aborted as exhausted-retries.
+    pub job_retry_budget: u32,
+    /// Base backoff before retrying a cleanly failed task (ns); doubles
+    /// per prior failure of that task (exponential backoff).
+    pub retry_backoff_ns: f64,
+    /// Admission-control watermark: arrivals finding this many pending
+    /// attempts already queued are shed (0 disables shedding).
+    pub shed_queue_depth: usize,
+    /// Software backend a DU-failed node degrades its Cereal decodes to.
+    pub fallback: Backend,
+}
+
+impl ClusterFaultConfig {
+    /// No faults and no admission control: the scheduler behaves
+    /// exactly as if the fault domain did not exist.
+    pub fn none() -> Self {
+        ClusterFaultConfig {
+            exec_crash_rate: 0.0,
+            node_fail_rate: 0.0,
+            task_fail_rate: 0.0,
+            du_fail_rate: 0.0,
+            heartbeat_period_ns: 25_000.0,
+            heartbeat_misses: 3,
+            restart_ns: 150_000.0,
+            blacklist_threshold: 3,
+            blacklist_cooldown_ns: 200_000.0,
+            job_retry_budget: 24,
+            retry_backoff_ns: 5_000.0,
+            shed_queue_depth: 0,
+            fallback: Backend::Kryo,
+        }
+    }
+
+    /// Whether any fault draw or admission gate can fire. When false
+    /// the scheduler skips the fault machinery entirely, keeping the
+    /// fault-free path a byte-identical no-op.
+    pub fn enabled(&self) -> bool {
+        self.exec_crash_rate > 0.0
+            || self.node_fail_rate > 0.0
+            || self.task_fail_rate > 0.0
+            || self.du_fail_rate > 0.0
+            || self.shed_queue_depth > 0
+    }
+}
+
 /// Cluster experiment configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ClusterConfig {
@@ -144,7 +245,11 @@ pub struct ClusterConfig {
     /// A running task is a laggard when its elapsed time exceeds this
     /// multiple of the stage's completed-task median service.
     pub spec_multiplier: f64,
-    /// Master seed (arrivals, tenant skew, straggler draws, datasets).
+    /// The cluster fault domain (crash/failure rates, detection,
+    /// blacklisting, retries, admission control).
+    pub fault: ClusterFaultConfig,
+    /// Master seed (arrivals, tenant skew, straggler draws, fault
+    /// streams, datasets).
     pub seed: u64,
     /// Worker threads for profile building (does not affect results).
     pub jobs: usize,
@@ -170,6 +275,7 @@ impl ClusterConfig {
             speculation: false,
             spec_quantile: 0.5,
             spec_multiplier: 1.5,
+            fault: ClusterFaultConfig::none(),
             seed: 0xC105_7E2_5EED,
             jobs: 1,
         }

@@ -18,7 +18,16 @@ use crate::job::{template, JobKind, TenantTemplate};
 use crate::{ClusterConfig, ClusterError};
 use shuffle::{fold_checksum, run_mapper, Message, ShuffleConfig};
 use std::collections::BTreeMap;
-use store::{build_part, par_map, MissPolicy, RddConfig};
+use store::{build_part, par_map, Backend, MissPolicy, RddConfig};
+
+/// Whether this tenant needs a software-fallback decode profile: only
+/// when DU device failures can fire and the tenant actually decodes on
+/// the DU (Cereal backend) with a *different* configured fallback.
+fn profiles_fallback(cfg: &ClusterConfig, t: &TenantTemplate) -> bool {
+    cfg.fault.du_fail_rate > 0.0
+        && t.backend == Backend::Cereal
+        && cfg.fault.fallback != t.backend
+}
 
 /// A per-key `(count, sum)` aggregate.
 pub type Fold = BTreeMap<u64, (u64, f64)>;
@@ -39,6 +48,12 @@ pub struct ReduceTask {
     pub inputs: Vec<(usize, u64)>,
     /// Simulated decode service time (summed over inputs).
     pub service_ns: f64,
+    /// Decode service under the configured software fallback backend —
+    /// what a DU-failed node pays for this task (PR 4 degrade
+    /// semantics: the fallback engine produces and decodes the batch,
+    /// the fold is bit-identical). Equals `service_ns` when fallback
+    /// profiling is off.
+    pub fallback_ns: f64,
     /// The task's fold over its key range.
     pub fold: Fold,
 }
@@ -54,6 +69,10 @@ pub struct ScanPart {
     /// Per-pass read service (deserialize, or validate-only for the
     /// zero-copy backend).
     pub read_ns: f64,
+    /// Per-pass read service under the configured software fallback
+    /// backend — what a DU-failed node pays. Equals `read_ns` when
+    /// fallback profiling is off.
+    pub fallback_read_ns: f64,
     /// The partition's fold.
     pub fold: Fold,
 }
@@ -136,6 +155,19 @@ impl JobProfile {
         }
     }
 
+    /// Nominal service of task `t` in stage `s` on a DU-failed node:
+    /// decode stages pay the profiled software-fallback service,
+    /// non-decode stages are unaffected.
+    pub fn fallback_service_ns(&self, s: usize, t: usize) -> f64 {
+        if !self.stage_decodes(s) {
+            return self.service_ns(s, t);
+        }
+        match &self.shape {
+            JobShape::Shuffle { reduces, .. } => reduces[t].fallback_ns,
+            JobShape::Scan { parts, .. } => parts[t].fallback_read_ns,
+        }
+    }
+
     /// Whether stage `s` tasks decode serialized data (and so need a DU
     /// context under the Cereal backend).
     pub fn stage_decodes(&self, s: usize) -> bool {
@@ -186,12 +218,39 @@ fn profile_shuffle(cfg: &ClusterConfig, t: &TenantTemplate) -> Result<JobProfile
         Ok::<ReduceTask, ClusterError>(ReduceTask {
             inputs: msgs.iter().map(|m| (m.src, m.bytes.len() as u64)).collect(),
             service_ns: out.de_busy_ns,
+            fallback_ns: out.de_busy_ns,
             fold: out.fold,
         })
     });
     let mut reduces = Vec::with_capacity(sc.reducers);
     for r in reduces_res {
         reduces.push(r?);
+    }
+    if profiles_fallback(cfg, t) {
+        // A DU-failed node degrades end-to-end to the software fallback
+        // format (PR 4 semantics): profile the fallback decode by
+        // re-running the template under that backend and demand the
+        // per-task folds stay bit-identical — degradation moves time,
+        // never answers.
+        let fb = cfg.fault.fallback;
+        let fb_outs = par_map(cfg.jobs, sc.mappers, |m| run_mapper(&sc, fb, m));
+        let mut fb_msgs: Vec<Message> = Vec::new();
+        for out in fb_outs {
+            fb_msgs.extend(out?.messages);
+        }
+        let fb_res = par_map(cfg.jobs, sc.reducers, |r| {
+            let mut msgs: Vec<&Message> = fb_msgs.iter().filter(|m| m.dst == r).collect();
+            msgs.sort_by_key(|m| (m.src, m.seq));
+            let out = shuffle::run_reducer(fb, &reg, cap, &msgs, &[], false)?;
+            Ok::<(f64, Fold), ClusterError>((out.de_busy_ns, out.fold))
+        });
+        for (r, fbr) in reduces.iter_mut().zip(fb_res) {
+            let (fallback_ns, fold) = fbr?;
+            if fold != r.fold {
+                return Err(ClusterError::ProfileFoldMismatch { tenant: t.tenant });
+            }
+            r.fallback_ns = fallback_ns;
+        }
     }
     // Reducers own disjoint key ranges (key % reducers), so merging in
     // reducer order reproduces the expected aggregate bit for bit.
@@ -232,14 +291,30 @@ fn profile_scan(cfg: &ClusterConfig, t: &TenantTemplate, passes: usize) -> JobPr
         checksum: false,
         fault: None,
     };
+    let fb = profiles_fallback(cfg, t).then_some(cfg.fault.fallback);
     let parts: Vec<ScanPart> = par_map(cfg.jobs, t.agg.mappers, |m| {
         // `build_part` runs the real materialize + re-read cycle and
         // asserts the reconstructed fold matches the source data.
         let p = build_part(&rc, m);
+        // A DU-failed node re-materializes and reads its blocks in the
+        // software fallback format (PR 4 semantics): profile that read
+        // cost too, and demand the fold stays bit-identical.
+        let fallback_read_ns = match fb {
+            Some(b) => {
+                let fp = build_part(&RddConfig { backend: b, ..rc }, m);
+                assert_eq!(
+                    fp.fold, p.fold,
+                    "fallback backend changed a partition fold"
+                );
+                fp.de_ns
+            }
+            None => p.de_ns,
+        };
         ScanPart {
             bytes: p.bytes.len() as u64,
             materialize_ns: p.recompute_ns,
             read_ns: p.de_ns,
+            fallback_read_ns,
             fold: p.fold,
         }
     });

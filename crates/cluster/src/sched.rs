@@ -1,5 +1,7 @@
 //! The event-driven scheduler: open arrivals, stage barriers, DU
-//! sharing, straggler detection and speculative re-execution.
+//! sharing, straggler detection, speculative re-execution, and the
+//! cluster fault domain (crashes, detection, blacklisting, degraded-DU
+//! scheduling, retries, admission control).
 //!
 //! One strictly sequential event loop over [`crate::EventQueue`]:
 //! arrivals enqueue a job's first stage, task-finish events advance
@@ -19,19 +21,62 @@
 //! queued behind it). Winner and loser replay the same profile, so the
 //! job's re-merged fold is bit-identical to the profile digest —
 //! checked at every job completion.
+//!
+//! # The fault domain
+//!
+//! When [`crate::ClusterFaultConfig::enabled`], every dispatched
+//! attempt draws from scoped [`sim::FaultInjector`] streams — the
+//! executor's stream is keyed by its stable telemetry entity id
+//! (`CLUSTER_PID_BASE + e`), the node's by the node index — so the
+//! fault schedule is a pure function of `(seed, entity)`:
+//!
+//! * **executor crashes** land at an interior fraction of the running
+//!   attempt's service. A crash is *silent*: the attempt is doomed but
+//!   nothing reacts until the heartbeat detector (miss-threshold ×
+//!   period on the event clock) declares the executor dead — or a
+//!   later dispatch trips over the crashed executor's outputs and
+//!   declares it dead early (fetch-failure detection). Declaration
+//!   kills the doomed attempt (DU reservation refunded, task
+//!   re-enqueued), marks every live job's stage-0 outputs held by that
+//!   executor as lost (lineage recompute, Spark-style), and schedules a
+//!   replacement executor after `restart_ns`;
+//! * **node failures** crash every executor on the node at once;
+//! * **clean task failures** leave the executor alive; the task retries
+//!   after exponential backoff, and an executor accumulating
+//!   `blacklist_threshold` failures is blacklisted — drained and
+//!   rejoined after a seeded cooldown;
+//! * **DU device failures** permanently degrade the node: its Cereal
+//!   decode attempts skip the DU queue and replay the profiled
+//!   software-fallback service instead (PR 4 degrade semantics);
+//! * **bounded retries + admission control**: every re-enqueue consumes
+//!   the job's retry budget (exhaustion aborts the job — reported, not
+//!   silent), and arrivals past the `shed_queue_depth` watermark are
+//!   shed instead of collapsing the queue.
+//!
+//! Every recovery path replays the same profile, so any job that
+//! completes re-merges a fold bit-identical to the profile digest; jobs
+//! that cannot are reported shed or failed — never a silent wrong
+//! answer.
 
 use crate::event::EventQueue;
 use crate::profile::{build_profiles, Fold, JobProfile, JobShape};
 use crate::{ClusterConfig, ClusterError};
 use shuffle::fold_checksum;
 use sim::net::Fabric;
+use sim::FaultInjector;
 use std::collections::{BTreeSet, VecDeque};
 use store::Backend;
-use telemetry::ids::{CLUSTER_PID_BASE, DRIVER_PID, T_DU, T_MAIN};
+use telemetry::ids::{CLUSTER_PID_BASE, DRIVER_PID, T_DU, T_FAIL, T_MAIN};
+use telemetry::rate::{per_sec, ratio};
 use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
 
 /// PRNG scope of the per-task straggler draws.
 const STRAGGLER_SCOPE: u64 = 0x57A6_61E2_0000;
+/// Scope mixed into the master seed for the cluster fault streams.
+const CLUSTER_FAULT_SCOPE: u64 = 0xFA17_C105_7E20;
+/// Scope of the per-node fault streams (executor streams use the
+/// executor's telemetry entity id `CLUSTER_PID_BASE + e` directly).
+const NODE_FAULT_SCOPE: u64 = 0x0DEF_A170_0000;
 
 /// Per-tenant counter names (static, as the metrics registry requires).
 /// Tenants beyond this table still run; only their per-tenant counters
@@ -63,11 +108,15 @@ pub struct TenantStats {
 pub struct ClusterOutcome {
     /// Jobs that arrived (= `cfg.job_arrivals`).
     pub arrivals: u64,
-    /// Jobs that ran to completion (always = arrivals; the run drains).
+    /// Jobs that ran to completion. With the fault domain off this is
+    /// always `arrivals`; with it on,
+    /// `jobs_completed + jobs_shed + jobs_failed == arrivals`.
     pub jobs_completed: u64,
-    /// Task attempts dispatched (originals + speculative copies).
+    /// Task attempts dispatched (originals + speculative copies +
+    /// retries + recomputes).
     pub tasks_launched: u64,
-    /// Tasks completed (one winning attempt each).
+    /// Tasks completed (one winning attempt each; recompleted
+    /// recomputes count again).
     pub tasks_completed: u64,
     /// Tasks whose straggler draw hit.
     pub stragglers: u64,
@@ -83,9 +132,9 @@ pub struct ClusterOutcome {
     pub fabric_messages: u64,
     /// Bytes crossing the fabric.
     pub fabric_bytes: u64,
-    /// Completion time of the last job.
+    /// Completion time of the last job to reach a terminal state.
     pub makespan_ns: f64,
-    /// Summed job sojourn time.
+    /// Summed job sojourn time (completed jobs).
     pub job_latency_sum_ns: f64,
     /// Largest job sojourn time.
     pub job_latency_max_ns: f64,
@@ -97,29 +146,86 @@ pub struct ClusterOutcome {
     pub executors_used: u64,
     /// Summed service of winning attempts (for utilization).
     pub busy_ns: f64,
+    /// Executor crashes (individual, including those from node
+    /// failures).
+    pub exec_crashes: u64,
+    /// Whole-node failures.
+    pub node_crashes: u64,
+    /// Crashed executors declared dead by the heartbeat detector.
+    pub heartbeat_deaths: u64,
+    /// Crashed executors declared dead early by a fetch failure.
+    pub fetch_fail_deaths: u64,
+    /// Running attempts killed because their executor was declared
+    /// dead.
+    pub crash_task_kills: u64,
+    /// Clean (executor-survives) task failures.
+    pub task_failures: u64,
+    /// Task re-enqueues scheduled with backoff after a clean failure.
+    pub task_retries: u64,
+    /// Task re-enqueues after a crash killed the running attempt.
+    pub crash_requeues: u64,
+    /// Completed stage-0 outputs lost with their executor and
+    /// re-enqueued (lineage recomputes).
+    pub recomputes: u64,
+    /// Executors blacklisted for repeated task failures.
+    pub blacklists: u64,
+    /// Blacklisted executors that rejoined after cooldown.
+    pub blacklist_rejoins: u64,
+    /// Dead executors replaced after `restart_ns`.
+    pub restarts: u64,
+    /// DU devices that failed (at most one per node; permanent).
+    pub du_device_failures: u64,
+    /// Cereal decode attempts that ran degraded on the software
+    /// fallback because their node's DU device had failed.
+    pub degraded_tasks: u64,
+    /// Arrivals shed by admission control.
+    pub jobs_shed: u64,
+    /// Jobs aborted after exhausting their retry budget.
+    pub jobs_failed: u64,
+    /// Compute thrown away: killed, failed, and cancelled attempts'
+    /// elapsed work (speculative losers included).
+    pub wasted_ns: f64,
+    /// Winning service of re-enqueued attempts (retries, crash
+    /// requeues, recomputes) — the recompute pressure.
+    pub recompute_busy_ns: f64,
     /// Per-tenant stats, indexed by tenant.
     pub per_tenant: Vec<TenantStats>,
-    /// FNV-1a digest over every job's fold digest, in arrival order.
+    /// FNV-1a digest over every job's fold digest, in arrival order
+    /// (shed/failed jobs contribute a zero digest).
     pub fold_checksum: u64,
 }
 
 impl ClusterOutcome {
-    /// Mean job sojourn time.
+    /// Mean job sojourn time (`0.0` when nothing completed).
     pub fn mean_latency_ns(&self) -> f64 {
-        if self.jobs_completed == 0 {
-            0.0
-        } else {
-            self.job_latency_sum_ns / self.jobs_completed as f64
-        }
+        ratio(self.job_latency_sum_ns, self.jobs_completed as f64)
     }
 
-    /// Average executor utilization over the makespan.
+    /// Average executor utilization over the makespan (`0.0` on an
+    /// empty run or zero executors).
     pub fn utilization(&self, executors: usize) -> f64 {
-        if self.makespan_ns <= 0.0 {
-            0.0
-        } else {
-            self.busy_ns / (self.makespan_ns * executors as f64)
-        }
+        ratio(self.busy_ns, self.makespan_ns * executors as f64)
+    }
+
+    /// Fraction of all compute that landed in winning attempts.
+    pub fn goodput(&self) -> f64 {
+        ratio(self.busy_ns, self.busy_ns + self.wasted_ns)
+    }
+
+    /// Fraction of winning compute that was re-execution (retries,
+    /// crash requeues, lineage recomputes).
+    pub fn recompute_share(&self) -> f64 {
+        ratio(self.recompute_busy_ns, self.busy_ns)
+    }
+
+    /// Fraction of arrivals shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        ratio(self.jobs_shed as f64, self.arrivals as f64)
+    }
+
+    /// Completed jobs per second of simulated time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        per_sec(self.jobs_completed, self.makespan_ns)
     }
 }
 
@@ -131,6 +237,18 @@ enum Event {
     Finish(usize),
     /// Re-examine the original attempt `a` for speculation.
     SpecCheck(usize),
+    /// Executor `exec` crashes silently (stale if `gen` moved on).
+    Crash { exec: usize, gen: u32 },
+    /// Every executor on `node` crashes at once.
+    NodeCrash { node: usize },
+    /// Attempt `a` fails cleanly (its executor survives).
+    TaskFail(usize),
+    /// The heartbeat detector declares crashed executor `exec` dead.
+    Dead { exec: usize, gen: u32 },
+    /// Executor `exec` re-registers (restart or blacklist rejoin).
+    Up { exec: usize, gen: u32 },
+    /// Retry task `(job, stage, task)` after its backoff.
+    Retry { job: usize, stage: usize, task: usize },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -152,6 +270,76 @@ impl StageKind {
     }
 }
 
+/// An executor's health, driving what the dispatcher may use and what
+/// the failure detector believes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ExecState {
+    /// In service (free or running).
+    Alive,
+    /// Crashed at `at_ns` but not yet declared dead — its running
+    /// attempt is doomed and its outputs are silently gone.
+    Crashed { at_ns: f64 },
+    /// Declared dead; a replacement registers after `restart_ns`.
+    Dead,
+    /// Pulled from service for repeated task failures; rejoins after a
+    /// seeded cooldown.
+    Blacklisted,
+}
+
+/// Per-executor health record. `gen` bumps on every state transition;
+/// scheduled `Crash`/`Dead`/`Up` events carry the gen they were minted
+/// under and are dropped as stale if it moved on.
+#[derive(Clone, Copy, Debug)]
+struct ExecHealth {
+    state: ExecState,
+    gen: u32,
+    /// Clean task failures since the last rejoin (blacklist counter).
+    fails: u32,
+    /// The attempt currently running on this executor.
+    running: Option<usize>,
+}
+
+/// Why a task is being re-enqueued.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Requeue {
+    /// Its executor was declared dead mid-run.
+    Crash,
+    /// It failed cleanly (retried after backoff).
+    Fail,
+    /// Its completed stage-0 output was lost with its executor.
+    Recompute,
+}
+
+/// Why a crashed executor is being declared dead.
+#[derive(Clone, Copy, Debug)]
+enum DeathCause {
+    Heartbeat,
+    FetchFail,
+}
+
+/// The live fault machinery — only constructed when the fault domain
+/// is enabled, so the fault-free path stays a byte-identical no-op.
+struct Faults {
+    /// Per-executor injector streams, keyed by `CLUSTER_PID_BASE + e`.
+    exec: Vec<FaultInjector>,
+    /// Per-node injector streams (node failures, DU device failures).
+    node: Vec<FaultInjector>,
+    /// A `NodeCrash` event is already scheduled for this node.
+    node_crash_pending: Vec<bool>,
+    /// The node's DU device has failed (permanent; decodes degrade).
+    du_failed: Vec<bool>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum JobStatus {
+    Live,
+    Completed,
+    /// Rejected by admission control on arrival.
+    Shed,
+    /// Aborted after exhausting its retry budget.
+    Failed,
+}
+
 #[derive(Clone, Debug)]
 struct TaskState {
     /// Service of the original attempt (straggler-adjusted).
@@ -165,6 +353,10 @@ struct TaskState {
     spec: Option<usize>,
     /// Whether a deferred speculation re-check is already scheduled.
     spec_check: bool,
+    /// Clean failures of this task (exponential-backoff exponent).
+    fails: u32,
+    /// A backoff `Retry` event is already scheduled.
+    retry_pending: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -183,7 +375,9 @@ struct JobState {
     /// Index of the currently running stage.
     stage: usize,
     stages: Vec<StageState>,
-    done: bool,
+    status: JobStatus,
+    /// Re-enqueues consumed from the job's retry budget.
+    retries_used: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -192,8 +386,14 @@ struct AttemptInfo {
     stage: usize,
     task: usize,
     speculative: bool,
+    /// A re-enqueued attempt (retry / crash requeue / recompute) —
+    /// its winning service books as recompute pressure.
+    recompute: bool,
     dispatched: bool,
     cancelled: bool,
+    /// Its executor crashed mid-service; the kill lands when the crash
+    /// is detected.
+    doomed: bool,
     finished: bool,
     exec: usize,
     start_ns: f64,
@@ -221,6 +421,8 @@ struct Sched<'a, S: Sink> {
     q: EventQueue<Event>,
     named: Vec<bool>,
     exec_used: Vec<bool>,
+    execs: Vec<ExecHealth>,
+    faults: Option<Faults>,
     running: u64,
     out: ClusterOutcome,
     /// Per-job fold digests, in arrival order.
@@ -242,6 +444,14 @@ impl<S: Sink> Sched<'_, S> {
         EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_MAIN }
     }
 
+    fn fail_entity(&self, e: usize) -> EntityId {
+        EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_FAIL }
+    }
+
+    fn node_of(&self, e: usize) -> usize {
+        e / self.cfg.executors_per_node.max(1)
+    }
+
     fn name_exec(&mut self, e: usize) {
         if S::ENABLED && !self.named[e] {
             self.named[e] = true;
@@ -249,7 +459,57 @@ impl<S: Sink> Sched<'_, S> {
             self.sink.name_process(pid, &format!("exec {e}"));
             self.sink.name_thread(pid, T_MAIN, "task");
             self.sink.name_thread(pid, T_DU, "du wait");
+            if self.faults.is_some() {
+                self.sink.name_thread(pid, T_FAIL, "faults");
+            }
         }
+    }
+
+    fn fail_instant(&mut self, e: usize, name: &'static str, t_ns: f64) {
+        if S::ENABLED {
+            let entity = self.fail_entity(e);
+            self.sink.instant(Instant { entity, name, t_ns, attrs: vec![] });
+        }
+    }
+
+    fn driver_fail_instant(&mut self, name: &'static str, t_ns: f64, job: usize) {
+        if S::ENABLED {
+            self.sink.instant(Instant {
+                entity: EntityId { pid: DRIVER_PID, tid: T_FAIL },
+                name,
+                t_ns,
+                attrs: vec![("job", (job as u64).into())],
+            });
+        }
+    }
+
+    /// Queues one (fresh or re-enqueued) original attempt for a task,
+    /// resetting its speculation slot so the new attempt can earn its
+    /// own copy.
+    fn push_attempt(&mut self, j: usize, s: usize, t: usize, recompute: bool) {
+        let a = self.attempts.len();
+        self.attempts.push(AttemptInfo {
+            job: j,
+            stage: s,
+            task: t,
+            speculative: false,
+            recompute,
+            dispatched: false,
+            cancelled: false,
+            doomed: false,
+            finished: false,
+            exec: 0,
+            start_ns: 0.0,
+            work_start_ns: 0.0,
+            finish_ns: 0.0,
+            du: None,
+        });
+        let task = &mut self.jobs[j].stages[s].tasks[t];
+        task.original = Some(a);
+        task.spec = None;
+        task.spec_check = false;
+        self.pending.push_back(a);
+        self.pending_live += 1;
     }
 
     /// Creates stage `s` of job `j` and queues one original attempt per
@@ -285,6 +545,8 @@ impl<S: Sink> Sched<'_, S> {
                 original: None,
                 spec: None,
                 spec_check: false,
+                fails: 0,
+                retry_pending: false,
             });
         }
         self.jobs[j].stages.push(StageState {
@@ -294,29 +556,58 @@ impl<S: Sink> Sched<'_, S> {
             completed_services: Vec::new(),
         });
         for t in 0..n {
-            let a = self.attempts.len();
-            self.attempts.push(AttemptInfo {
-                job: j,
-                stage: s,
-                task: t,
-                speculative: false,
-                dispatched: false,
-                cancelled: false,
-                finished: false,
-                exec: 0,
-                start_ns: 0.0,
-                work_start_ns: 0.0,
-                finish_ns: 0.0,
-                du: None,
-            });
-            self.jobs[j].stages[s].tasks[t].original = Some(a);
-            self.pending.push_back(a);
-            self.pending_live += 1;
+            self.push_attempt(j, s, t, false);
         }
     }
 
-    /// Greedily places pending attempts on free executors.
+    /// Whether attempt `a`'s inputs are fetchable right now. Stage-0
+    /// attempts always are; later stages need every source stage-0 task
+    /// completed with its winner's executor still holding the output.
+    /// Tripping over a *crashed* (undetected) winner is the
+    /// fetch-failure path: the executor is declared dead on the spot,
+    /// which re-enqueues the lost outputs, and the attempt stays queued.
+    fn inputs_ready(&mut self, now: f64, a: usize) -> bool {
+        let info = self.attempts[a];
+        let (j, s, t) = (info.job, info.stage, info.task);
+        if s == 0 {
+            return true;
+        }
+        let profile = &self.profiles[self.jobs[j].tenant];
+        let mut srcs: Vec<usize> = Vec::new();
+        match &profile.shape {
+            JobShape::Shuffle { reduces, .. } if s == 1 => {
+                srcs.extend(reduces[t].inputs.iter().map(|&(src, _)| src));
+            }
+            JobShape::Scan { .. } if s > 0 => srcs.push(t),
+            _ => return true,
+        }
+        let mut ready = true;
+        let mut crashed: Vec<usize> = Vec::new();
+        for src in srcs {
+            let st = &self.jobs[j].stages[0].tasks[src];
+            if !st.completed {
+                ready = false;
+                continue;
+            }
+            let w = st.winner_exec;
+            if matches!(self.execs[w].state, ExecState::Crashed { .. }) {
+                ready = false;
+                if !crashed.contains(&w) {
+                    crashed.push(w);
+                }
+            }
+        }
+        for w in crashed {
+            self.declare_dead(now, w, DeathCause::FetchFail);
+        }
+        ready
+    }
+
+    /// Greedily places pending attempts on free executors. Attempts
+    /// whose inputs are not fetchable (lost outputs being recomputed)
+    /// stay queued, in order, ahead of newer work.
     fn dispatch(&mut self, now: f64) {
+        let mut blocked: Vec<usize> = Vec::new();
         while !self.free.is_empty() {
             let a = loop {
                 match self.pending.pop_front() {
@@ -326,6 +617,10 @@ impl<S: Sink> Sched<'_, S> {
                 }
             };
             let Some(a) = a else { break };
+            if self.faults.is_some() && !self.inputs_ready(now, a) {
+                blocked.push(a);
+                continue;
+            }
             self.pending_live -= 1;
             let e = *self.free.iter().next().expect("checked non-empty");
             self.free.remove(&e);
@@ -336,7 +631,8 @@ impl<S: Sink> Sched<'_, S> {
             let profile = &self.profiles[self.jobs[j].tenant];
             let backend = profile.template.backend;
             let task = &self.jobs[j].stages[s].tasks[t];
-            let service = if info.speculative { task.nominal_ns } else { task.service_ns };
+            let (t_service, t_nominal) = (task.service_ns, task.nominal_ns);
+            let mut service = if info.speculative { t_nominal } else { t_service };
 
             // Input fetches over the shared fabric, all issued at
             // dispatch time; the ledgers serialize contending flows.
@@ -364,34 +660,63 @@ impl<S: Sink> Sched<'_, S> {
             }
 
             // Decode stages on the Cereal backend queue for one of the
-            // node's shared DU contexts.
+            // node's shared DU contexts — unless the node's DU device
+            // has failed, in which case the decode degrades to the
+            // profiled software fallback on the host core (no queue).
             let mut du = None;
             let mut start = ready;
             if backend == Backend::Cereal && profile.stage_decodes(s) {
-                let node = e / self.cfg.executors_per_node.max(1);
-                let pool = &mut self.du_free[node];
-                let ctx = (0..pool.len())
-                    .min_by(|&x, &y| pool[x].partial_cmp(&pool[y]).expect("finite"))
-                    .expect("every node has at least one DU context");
-                start = ready.max(pool[ctx]);
-                let wait = start - ready;
-                if wait > 0.0 {
-                    self.out.du_waits += 1;
-                    self.out.du_wait_ns += wait;
-                    self.sink.count("cluster.du_waits", 1);
-                    self.sink.observe("cluster.du_wait_ns", wait);
-                    if S::ENABLED {
-                        self.sink.span(Span {
-                            entity: EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_DU },
-                            name: "du.wait",
-                            t0_ns: ready,
-                            t1_ns: start,
-                            attrs: vec![("node", (node as u64).into())],
-                        });
+                let node = self.node_of(e);
+                let mut degraded = false;
+                let mut du_failed_now = false;
+                if let Some(fx) = &mut self.faults {
+                    if !fx.du_failed[node] && fx.node[node].accel_faults() {
+                        fx.du_failed[node] = true;
+                        du_failed_now = true;
                     }
+                    degraded = fx.du_failed[node];
                 }
-                pool[ctx] = start + service;
-                du = Some((node, ctx));
+                if du_failed_now {
+                    self.out.du_device_failures += 1;
+                    self.sink.count("cluster.du_device_failures", 1);
+                    self.fail_instant(e, "du.fail", now);
+                }
+                if degraded {
+                    // Replay the fallback profile; originals keep their
+                    // straggler inflation.
+                    let fb = profile.fallback_service_ns(s, t);
+                    service = if info.speculative {
+                        fb
+                    } else {
+                        fb * (t_service / t_nominal)
+                    };
+                    self.out.degraded_tasks += 1;
+                    self.sink.count("cluster.degraded_tasks", 1);
+                } else {
+                    let pool = &mut self.du_free[node];
+                    let ctx = (0..pool.len())
+                        .min_by(|&x, &y| pool[x].partial_cmp(&pool[y]).expect("finite"))
+                        .expect("every node has at least one DU context");
+                    start = ready.max(pool[ctx]);
+                    let wait = start - ready;
+                    if wait > 0.0 {
+                        self.out.du_waits += 1;
+                        self.out.du_wait_ns += wait;
+                        self.sink.count("cluster.du_waits", 1);
+                        self.sink.observe("cluster.du_wait_ns", wait);
+                        if S::ENABLED {
+                            self.sink.span(Span {
+                                entity: EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_DU },
+                                name: "du.wait",
+                                t0_ns: ready,
+                                t1_ns: start,
+                                attrs: vec![("node", (node as u64).into())],
+                            });
+                        }
+                    }
+                    pool[ctx] = start + service;
+                    du = Some((node, ctx));
+                }
             }
 
             let finish = start + service;
@@ -402,6 +727,7 @@ impl<S: Sink> Sched<'_, S> {
             at.work_start_ns = start;
             at.finish_ns = finish;
             at.du = du;
+            self.execs[e].running = Some(a);
             self.q.push(finish, Event::Finish(a));
             self.running += 1;
             self.out.max_running = self.out.max_running.max(self.running);
@@ -420,14 +746,40 @@ impl<S: Sink> Sched<'_, S> {
                     });
                 }
             }
+
+            // Fault draws for this placement, in fixed order: the
+            // node's stream (whole-node failure), then the executor's
+            // (crash, clean task failure). Fractions land the event at
+            // an interior point of the service, so a drawn crash always
+            // beats the drawing attempt's finish.
+            let node = self.node_of(e);
+            if let Some(fx) = &mut self.faults {
+                if !fx.node_crash_pending[node] {
+                    if let Some(frac) = fx.node[node].node_fails() {
+                        fx.node_crash_pending[node] = true;
+                        self.q.push(start + frac * service, Event::NodeCrash { node });
+                    }
+                }
+                if let Some(frac) = fx.exec[e].exec_crashes() {
+                    let gen = self.execs[e].gen;
+                    self.q.push(start + frac * service, Event::Crash { exec: e, gen });
+                }
+                if let Some(frac) = fx.exec[e].task_fails() {
+                    self.q.push(start + frac * service, Event::TaskFail(a));
+                }
+            }
+        }
+        for &a in blocked.iter().rev() {
+            self.pending.push_front(a);
         }
         self.sink.gauge("cluster.queue_depth", self.pending_live as f64);
         self.sink.gauge("cluster.running_tasks", self.running as f64);
         self.out.max_queue_depth = self.out.max_queue_depth.max(self.pending_live as u64);
     }
 
-    /// Kills a losing attempt: frees its executor immediately and
-    /// refunds its DU context if nothing queued behind it.
+    /// Kills a losing/obsolete attempt: frees its executor (if the
+    /// executor is still alive), refunds its DU context if nothing
+    /// queued behind it, and books the thrown-away work.
     fn cancel(&mut self, loser: usize, now: f64) {
         let info = self.attempts[loser];
         if info.cancelled || info.finished {
@@ -436,7 +788,10 @@ impl<S: Sink> Sched<'_, S> {
         self.attempts[loser].cancelled = true;
         if info.dispatched {
             self.running -= 1;
-            self.free.insert(info.exec);
+            self.execs[info.exec].running = None;
+            if matches!(self.execs[info.exec].state, ExecState::Alive) {
+                self.free.insert(info.exec);
+            }
             if let Some((node, ctx)) = info.du {
                 // Only refund if no later acquisition already queued on
                 // this context (its free time would have moved past ours).
@@ -444,6 +799,15 @@ impl<S: Sink> Sched<'_, S> {
                     self.du_free[node][ctx] = now;
                 }
             }
+            // Work stops at the kill — or at the crash, if the attempt
+            // was doomed before being cancelled.
+            let end = match self.execs[info.exec].state {
+                ExecState::Crashed { at_ns } if info.doomed => at_ns.min(now),
+                _ => now,
+            };
+            let wasted = (end - info.work_start_ns).max(0.0);
+            self.out.wasted_ns += wasted;
+            self.sink.observe("cluster.wasted_ns", wasted);
             if S::ENABLED {
                 self.sink.span(Span {
                     entity: self.exec_entity(info.exec),
@@ -457,6 +821,245 @@ impl<S: Sink> Sched<'_, S> {
             // Still queued: the dispatcher will skip the cancelled
             // entry, so it stops being live now.
             self.pending_live -= 1;
+        }
+    }
+
+    /// Crashes one executor: its running attempt is doomed (killed at
+    /// detection), its outputs silently gone, and the heartbeat
+    /// detector will declare it dead `misses` periods after the crash's
+    /// period boundary.
+    fn crash_exec(&mut self, now: f64, e: usize) {
+        if !matches!(self.execs[e].state, ExecState::Alive | ExecState::Blacklisted) {
+            return;
+        }
+        self.execs[e].state = ExecState::Crashed { at_ns: now };
+        self.execs[e].gen += 1;
+        let gen = self.execs[e].gen;
+        self.out.exec_crashes += 1;
+        self.sink.count("cluster.exec_crashes", 1);
+        self.fail_instant(e, "exec.crash", now);
+        if let Some(a) = self.execs[e].running {
+            self.attempts[a].doomed = true;
+        } else {
+            self.free.remove(&e);
+        }
+        let p = self.cfg.fault.heartbeat_period_ns.max(1.0);
+        let misses = self.cfg.fault.heartbeat_misses.max(1) as f64;
+        let detect = (now / p).floor() * p + misses * p;
+        self.q.push(detect, Event::Dead { exec: e, gen });
+    }
+
+    /// A crashed executor is declared dead (by heartbeat timeout or a
+    /// fetch failure): its doomed attempt is killed with the DU
+    /// reservation refunded and the task re-enqueued, every live job's
+    /// stage-0 outputs it held are re-enqueued for lineage recompute,
+    /// and a replacement executor registers after `restart_ns`.
+    fn declare_dead(&mut self, now: f64, e: usize, cause: DeathCause) {
+        let ExecState::Crashed { at_ns } = self.execs[e].state else {
+            return;
+        };
+        match cause {
+            DeathCause::Heartbeat => {
+                self.out.heartbeat_deaths += 1;
+                self.sink.count("cluster.heartbeat_deaths", 1);
+            }
+            DeathCause::FetchFail => {
+                self.out.fetch_fail_deaths += 1;
+                self.sink.count("cluster.fetch_fail_deaths", 1);
+            }
+        }
+        if S::ENABLED {
+            let detector = match cause {
+                DeathCause::Heartbeat => "heartbeat",
+                DeathCause::FetchFail => "fetch_fail",
+            };
+            self.sink.span(Span {
+                entity: self.fail_entity(e),
+                name: "fail.undetected",
+                t0_ns: at_ns,
+                t1_ns: now,
+                attrs: vec![("detector", detector.into())],
+            });
+        }
+        // Kill the doomed attempt while the state still says Crashed,
+        // so the thrown-away work is measured up to the crash instant,
+        // not the (later) detection.
+        if let Some(a) = self.execs[e].running {
+            let info = self.attempts[a];
+            debug_assert!(info.doomed, "a crashed executor's attempt must be doomed");
+            self.out.crash_task_kills += 1;
+            self.sink.count("cluster.crash_task_kills", 1);
+            self.cancel(a, now);
+            self.requeue_task(now, info.job, info.stage, info.task, Requeue::Crash);
+        }
+        self.execs[e].state = ExecState::Dead;
+        self.execs[e].gen += 1;
+        let gen = self.execs[e].gen;
+        // Completed stage-0 outputs held by this executor are gone;
+        // later stages fetch them, so re-enqueue their tasks (lineage
+        // recompute). Only stage-0 outputs are ever fetched.
+        for j in 0..self.jobs.len() {
+            if self.jobs[j].status != JobStatus::Live || self.jobs[j].stages.is_empty() {
+                continue;
+            }
+            for t in 0..self.jobs[j].stages[0].tasks.len() {
+                let task = &self.jobs[j].stages[0].tasks[t];
+                if task.completed && task.winner_exec == e {
+                    self.jobs[j].stages[0].tasks[t].completed = false;
+                    self.jobs[j].stages[0].done -= 1;
+                    self.requeue_task(now, j, 0, t, Requeue::Recompute);
+                }
+            }
+        }
+        self.q.push(now + self.cfg.fault.restart_ns, Event::Up { exec: e, gen });
+    }
+
+    /// A clean task failure: the executor survives and reports it. The
+    /// task retries after exponential backoff; the executor's failure
+    /// count may trip the blacklist.
+    fn on_task_fail(&mut self, now: f64, a: usize) {
+        let info = self.attempts[a];
+        if info.cancelled || info.finished || info.doomed {
+            return;
+        }
+        let (j, s, t) = (info.job, info.stage, info.task);
+        let e = info.exec;
+        self.out.task_failures += 1;
+        self.sink.count("cluster.task_failures", 1);
+        if S::ENABLED {
+            self.sink.span(Span {
+                entity: self.fail_entity(e),
+                name: "task.fail",
+                t0_ns: info.start_ns,
+                t1_ns: now,
+                attrs: vec![("job", (j as u64).into()), ("task", (t as u64).into())],
+            });
+        }
+        self.cancel(a, now);
+        self.jobs[j].stages[s].tasks[t].fails += 1;
+        self.execs[e].fails += 1;
+        let threshold = self.cfg.fault.blacklist_threshold;
+        if threshold > 0
+            && self.execs[e].fails >= threshold
+            && matches!(self.execs[e].state, ExecState::Alive)
+        {
+            // Pull it from service; it rejoins after a seeded cooldown.
+            self.execs[e].state = ExecState::Blacklisted;
+            self.execs[e].gen += 1;
+            let gen = self.execs[e].gen;
+            self.free.remove(&e);
+            self.out.blacklists += 1;
+            self.sink.count("cluster.blacklists", 1);
+            self.fail_instant(e, "exec.blacklist", now);
+            let jitter = self
+                .faults
+                .as_mut()
+                .map_or(0.0, |fx| fx.exec[e].jitter());
+            let cooldown = self.cfg.fault.blacklist_cooldown_ns * (1.0 + jitter);
+            self.q.push(now + cooldown, Event::Up { exec: e, gen });
+        }
+        self.requeue_task(now, j, s, t, Requeue::Fail);
+    }
+
+    /// An executor re-registers: a replacement after a declared death,
+    /// or a blacklisted executor's cooldown expiring.
+    fn on_up(&mut self, now: f64, e: usize, gen: u32) {
+        if self.execs[e].gen != gen {
+            return;
+        }
+        match self.execs[e].state {
+            ExecState::Dead => {
+                self.out.restarts += 1;
+                self.sink.count("cluster.restarts", 1);
+                self.fail_instant(e, "exec.up", now);
+            }
+            ExecState::Blacklisted => {
+                self.out.blacklist_rejoins += 1;
+                self.sink.count("cluster.blacklist_rejoins", 1);
+                self.fail_instant(e, "exec.rejoin", now);
+            }
+            // Gen guards make other states unreachable here.
+            ExecState::Alive | ExecState::Crashed { .. } => return,
+        }
+        self.execs[e].state = ExecState::Alive;
+        self.execs[e].gen += 1;
+        self.execs[e].fails = 0;
+        self.free.insert(e);
+    }
+
+    /// Re-enqueues a task after a failure/crash/lost output — unless a
+    /// sibling attempt is still racing, a retry is already scheduled,
+    /// or the job's retry budget is exhausted (which aborts the job).
+    fn requeue_task(&mut self, now: f64, j: usize, s: usize, t: usize, kind: Requeue) {
+        if self.jobs[j].status != JobStatus::Live {
+            return;
+        }
+        {
+            let task = &self.jobs[j].stages[s].tasks[t];
+            if task.completed || task.retry_pending {
+                return;
+            }
+            let live = |ao: Option<usize>| {
+                ao.is_some_and(|a| {
+                    let i = &self.attempts[a];
+                    !i.cancelled && !i.doomed && !i.finished
+                })
+            };
+            if live(task.original) || live(task.spec) {
+                return;
+            }
+        }
+        if self.jobs[j].retries_used >= self.cfg.fault.job_retry_budget {
+            self.abort_job(now, j);
+            return;
+        }
+        self.jobs[j].retries_used += 1;
+        match kind {
+            Requeue::Fail => {
+                self.out.task_retries += 1;
+                self.sink.count("cluster.task_retries", 1);
+                let task = &mut self.jobs[j].stages[s].tasks[t];
+                let k = task.fails.saturating_sub(1).min(16);
+                task.retry_pending = true;
+                let delay = self.cfg.fault.retry_backoff_ns * (1u64 << k) as f64;
+                self.q.push(now + delay, Event::Retry { job: j, stage: s, task: t });
+            }
+            Requeue::Crash => {
+                self.out.crash_requeues += 1;
+                self.sink.count("cluster.crash_requeues", 1);
+                self.push_attempt(j, s, t, true);
+            }
+            Requeue::Recompute => {
+                self.out.recomputes += 1;
+                self.sink.count("cluster.recomputes", 1);
+                self.push_attempt(j, s, t, true);
+            }
+        }
+    }
+
+    /// A task's backoff expired: re-enqueue it (if its job is still
+    /// live and nothing completed it meanwhile).
+    fn on_retry(&mut self, j: usize, s: usize, t: usize) {
+        self.jobs[j].stages[s].tasks[t].retry_pending = false;
+        if self.jobs[j].status != JobStatus::Live || self.jobs[j].stages[s].tasks[t].completed {
+            return;
+        }
+        self.push_attempt(j, s, t, true);
+    }
+
+    /// Aborts a job that exhausted its retry budget: reported as
+    /// failed — never a silent wrong answer — and every outstanding
+    /// attempt is killed.
+    fn abort_job(&mut self, now: f64, j: usize) {
+        self.jobs[j].status = JobStatus::Failed;
+        self.out.jobs_failed += 1;
+        self.out.makespan_ns = self.out.makespan_ns.max(now);
+        self.sink.count("cluster.jobs_failed", 1);
+        self.driver_fail_instant("job.failed", now, j);
+        for a in 0..self.attempts.len() {
+            if self.attempts[a].job == j {
+                self.cancel(a, now);
+            }
         }
     }
 
@@ -488,7 +1091,7 @@ impl<S: Sink> Sched<'_, S> {
         for t in candidates {
             let Some(orig) = self.jobs[j].stages[s].tasks[t].original else { continue };
             let oi = self.attempts[orig];
-            if !oi.dispatched || oi.cancelled || oi.finished {
+            if !oi.dispatched || oi.cancelled || oi.doomed || oi.finished {
                 continue;
             }
             // A task is a laggard when its elapsed *compute* time (the
@@ -515,8 +1118,10 @@ impl<S: Sink> Sched<'_, S> {
             stage: s,
             task: t,
             speculative: true,
+            recompute: false,
             dispatched: false,
             cancelled: false,
+            doomed: false,
             finished: false,
             exec: 0,
             start_ns: 0.0,
@@ -537,12 +1142,15 @@ impl<S: Sink> Sched<'_, S> {
             return;
         }
         let oi = self.attempts[orig];
-        if oi.cancelled || oi.finished {
+        if oi.cancelled || oi.doomed || oi.finished {
             return;
         }
         let (j, s, t) = (oi.job, oi.stage, oi.task);
         if self.jobs[j].stages[s].tasks[t].completed
             || self.jobs[j].stages[s].tasks[t].spec.is_some()
+            // A requeue replaced this attempt; the new one re-earns its
+            // own speculation.
+            || self.jobs[j].stages[s].tasks[t].original != Some(orig)
         {
             return;
         }
@@ -551,19 +1159,20 @@ impl<S: Sink> Sched<'_, S> {
 
     fn on_finish(&mut self, now: f64, a: usize) -> Result<(), ClusterError> {
         let info = self.attempts[a];
-        if info.cancelled {
-            // Killed earlier; its executor was already reclaimed.
+        if info.cancelled || info.doomed {
+            // Killed earlier, or its executor crashed mid-service (the
+            // kill lands at detection).
             return Ok(());
         }
         self.attempts[a].finished = true;
         self.running -= 1;
+        self.execs[info.exec].running = None;
         self.free.insert(info.exec);
         let (j, s, t) = (info.job, info.stage, info.task);
-        let service = if info.speculative {
-            self.jobs[j].stages[s].tasks[t].nominal_ns
-        } else {
-            self.jobs[j].stages[s].tasks[t].service_ns
-        };
+        // The booked service is what this attempt actually ran for:
+        // finish − compute start (covers degraded-DU fallback replay,
+        // speculative nominals and straggler inflation alike).
+        let service = info.finish_ns - info.work_start_ns;
 
         // First completion wins; the sibling attempt (if any) dies now.
         let other = {
@@ -572,7 +1181,9 @@ impl<S: Sink> Sched<'_, S> {
             if info.speculative { task.original } else { task.spec }
         };
         if let Some(o) = other {
-            self.cancel(o, now);
+            if o != a {
+                self.cancel(o, now);
+            }
         }
         {
             let task = &mut self.jobs[j].stages[s].tasks[t];
@@ -586,6 +1197,10 @@ impl<S: Sink> Sched<'_, S> {
         let kind = stage.kind;
         self.out.tasks_completed += 1;
         self.out.busy_ns += service;
+        if info.recompute {
+            self.out.recompute_busy_ns += service;
+            self.sink.observe("cluster.recompute_service_ns", service);
+        }
         self.sink.count("cluster.tasks_completed", 1);
         if S::ENABLED {
             self.sink.span(Span {
@@ -613,6 +1228,11 @@ impl<S: Sink> Sched<'_, S> {
             }
         }
 
+        // A recompleted stage-0 recompute must not re-advance a job
+        // already past that barrier.
+        if self.jobs[j].stage != s {
+            return Ok(());
+        }
         if stage_done {
             let profile = self.profile(j);
             if s + 1 < profile.stages() {
@@ -658,7 +1278,7 @@ impl<S: Sink> Sched<'_, S> {
             return Err(ClusterError::JobFoldMismatch { job: j, tenant });
         }
         self.job_digests[j] = digest;
-        self.jobs[j].done = true;
+        self.jobs[j].status = JobStatus::Completed;
         let latency = now - self.jobs[j].arrival_ns;
         self.out.jobs_completed += 1;
         self.out.makespan_ns = self.out.makespan_ns.max(now);
@@ -670,6 +1290,15 @@ impl<S: Sink> Sched<'_, S> {
         self.sink.observe("cluster.job_latency_ns", latency);
         self.sink
             .count(TENANT_JOB_COUNTERS[tenant.min(TENANT_JOB_COUNTERS.len() - 1)], 1);
+        // Spurious in-flight recomputes of this job's stage-0 outputs
+        // are obsolete now.
+        if self.faults.is_some() {
+            for a in 0..self.attempts.len() {
+                if self.attempts[a].job == j {
+                    self.cancel(a, now);
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -684,9 +1313,12 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> 
 
 /// [`run_cluster`] with a telemetry sink: arrival instants on the
 /// driver lane, per-executor `task.*` spans, `du.wait` spans,
-/// `spec.launch`/`spec.win` instants, queue-depth and running-task
-/// gauges, and every `cluster.*` counter booked at its event site. The
-/// returned outcome is identical to the untraced path for any sink.
+/// `spec.launch`/`spec.win` instants, the fault lifecycle on the
+/// `T_FAIL` lanes (`exec.crash`/`fail.undetected`/`task.fail`/
+/// `exec.blacklist`/`exec.up`/`du.fail`, driver `job.shed`/
+/// `job.failed`), queue-depth and running-task gauges, and every
+/// `cluster.*` counter booked at its event site. The returned outcome
+/// is identical to the untraced path for any sink.
 ///
 /// # Errors
 /// Same as [`run_cluster`].
@@ -710,7 +1342,33 @@ pub fn run_cluster_sunk<S: Sink>(
     if S::ENABLED {
         sink.name_process(DRIVER_PID, "cluster driver");
         sink.name_thread(DRIVER_PID, T_MAIN, "scheduler");
+        if cfg.fault.enabled() {
+            sink.name_thread(DRIVER_PID, T_FAIL, "faults");
+        }
     }
+
+    // The fault machinery only exists when it can fire, so a zero-rate
+    // run is byte-identical to one with no fault domain at all.
+    let faults = cfg.fault.enabled().then(|| {
+        let fc = sim::FaultConfig {
+            seed: cfg.seed ^ CLUSTER_FAULT_SCOPE,
+            exec_crash: cfg.fault.exec_crash_rate,
+            node_failure: cfg.fault.node_fail_rate,
+            task_failure: cfg.fault.task_fail_rate,
+            accel_fault: cfg.fault.du_fail_rate,
+            ..sim::FaultConfig::none()
+        };
+        Faults {
+            exec: (0..cfg.executors)
+                .map(|e| fc.scoped(u64::from(CLUSTER_PID_BASE + e as u32)))
+                .collect(),
+            node: (0..cfg.nodes())
+                .map(|n| fc.scoped(NODE_FAULT_SCOPE ^ n as u64))
+                .collect(),
+            node_crash_pending: vec![false; cfg.nodes()],
+            du_failed: vec![false; cfg.nodes()],
+        }
+    });
 
     let mut sched = Sched {
         cfg,
@@ -725,6 +1383,11 @@ pub fn run_cluster_sunk<S: Sink>(
         q: EventQueue::new(),
         named: vec![false; cfg.executors],
         exec_used: vec![false; cfg.executors],
+        execs: vec![
+            ExecHealth { state: ExecState::Alive, gen: 0, fails: 0, running: None };
+            cfg.executors
+        ],
+        faults,
         running: 0,
         out: ClusterOutcome {
             arrivals: 0,
@@ -745,6 +1408,24 @@ pub fn run_cluster_sunk<S: Sink>(
             max_running: 0,
             executors_used: 0,
             busy_ns: 0.0,
+            exec_crashes: 0,
+            node_crashes: 0,
+            heartbeat_deaths: 0,
+            fetch_fail_deaths: 0,
+            crash_task_kills: 0,
+            task_failures: 0,
+            task_retries: 0,
+            crash_requeues: 0,
+            recomputes: 0,
+            blacklists: 0,
+            blacklist_rejoins: 0,
+            restarts: 0,
+            du_device_failures: 0,
+            degraded_tasks: 0,
+            jobs_shed: 0,
+            jobs_failed: 0,
+            wasted_ns: 0.0,
+            recompute_busy_ns: 0.0,
             per_tenant: vec![TenantStats::default(); cfg.tenants],
             fold_checksum: 0,
         },
@@ -758,7 +1439,8 @@ pub fn run_cluster_sunk<S: Sink>(
             arrival_ns: a.t_ns,
             stage: 0,
             stages: Vec::new(),
-            done: false,
+            status: JobStatus::Live,
+            retries_used: 0,
         });
         sched.q.push(a.t_ns, Event::Arrival(jid));
     }
@@ -777,25 +1459,158 @@ pub fn run_cluster_sunk<S: Sink>(
                         attrs: vec![("job", (jid as u64).into()), ("tenant", tenant.into())],
                     });
                 }
-                sched.enqueue_stage(jid, 0);
+                let watermark = cfg.fault.shed_queue_depth;
+                if watermark > 0 && sched.pending_live >= watermark {
+                    // Admission control: shedding beats collapsing.
+                    sched.jobs[jid].status = JobStatus::Shed;
+                    sched.out.jobs_shed += 1;
+                    sched.out.makespan_ns = sched.out.makespan_ns.max(now);
+                    sched.sink.count("cluster.jobs_shed", 1);
+                    sched.driver_fail_instant("job.shed", now, jid);
+                } else {
+                    sched.enqueue_stage(jid, 0);
+                }
             }
             Event::Finish(a) => sched.on_finish(now, a)?,
             Event::SpecCheck(orig) => sched.on_spec_check(orig),
+            Event::Crash { exec, gen } => {
+                if sched.execs[exec].gen == gen {
+                    sched.crash_exec(now, exec);
+                }
+            }
+            Event::NodeCrash { node } => {
+                if let Some(fx) = &mut sched.faults {
+                    fx.node_crash_pending[node] = false;
+                }
+                sched.out.node_crashes += 1;
+                sched.sink.count("cluster.node_crashes", 1);
+                if S::ENABLED {
+                    sched.sink.instant(Instant {
+                        entity: EntityId { pid: DRIVER_PID, tid: T_FAIL },
+                        name: "node.crash",
+                        t_ns: now,
+                        attrs: vec![("node", (node as u64).into())],
+                    });
+                }
+                let epn = cfg.executors_per_node.max(1);
+                let hi = ((node + 1) * epn).min(cfg.executors);
+                for e in node * epn..hi {
+                    sched.crash_exec(now, e);
+                }
+            }
+            Event::TaskFail(a) => sched.on_task_fail(now, a),
+            Event::Dead { exec, gen } => {
+                if sched.execs[exec].gen == gen {
+                    sched.declare_dead(now, exec, DeathCause::Heartbeat);
+                }
+            }
+            Event::Up { exec, gen } => sched.on_up(now, exec, gen),
+            Event::Retry { job, stage, task } => sched.on_retry(job, stage, task),
         }
         sched.dispatch(now);
     }
 
-    assert!(sched.jobs.iter().all(|j| j.done), "the run must drain every job");
+    assert!(
+        sched.jobs.iter().all(|j| j.status != JobStatus::Live),
+        "the run must drain every job"
+    );
+    assert_eq!(
+        sched.out.jobs_completed + sched.out.jobs_shed + sched.out.jobs_failed,
+        sched.out.arrivals,
+        "every arrival must reach exactly one terminal state"
+    );
     assert_eq!(sched.pending_live, 0, "no attempts may be left queued");
+    assert!(sched.q.is_empty(), "no leaked timers after the last event");
     sched.out.executors_used = sched.exec_used.iter().filter(|&&u| u).count() as u64;
     sched.out.fabric_messages = sched.fabric.messages();
     sched.out.fabric_bytes = sched.fabric.total_bytes();
     // Digest of digests, in arrival order — stable across scheduling
-    // differences (speculation, contention) by construction.
+    // differences (speculation, contention, recovery) by construction;
+    // shed/failed jobs contribute zero digests.
     let mut fold: Fold = Fold::new();
     for (i, &d) in sched.job_digests.iter().enumerate() {
         fold.insert(i as u64, (1, f64::from_bits(d)));
     }
     sched.out.fold_checksum = fold_checksum(&fold);
     Ok(sched.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An outcome from a run that did nothing: no executors used, no
+    /// completions, zero makespan. Every derived rate must be 0.0, not
+    /// NaN/inf.
+    fn empty_outcome() -> ClusterOutcome {
+        ClusterOutcome {
+            arrivals: 0,
+            jobs_completed: 0,
+            tasks_launched: 0,
+            tasks_completed: 0,
+            stragglers: 0,
+            spec_launches: 0,
+            spec_wins: 0,
+            du_waits: 0,
+            du_wait_ns: 0.0,
+            fabric_messages: 0,
+            fabric_bytes: 0,
+            makespan_ns: 0.0,
+            job_latency_sum_ns: 0.0,
+            job_latency_max_ns: 0.0,
+            max_queue_depth: 0,
+            max_running: 0,
+            executors_used: 0,
+            busy_ns: 0.0,
+            exec_crashes: 0,
+            node_crashes: 0,
+            heartbeat_deaths: 0,
+            fetch_fail_deaths: 0,
+            crash_task_kills: 0,
+            task_failures: 0,
+            task_retries: 0,
+            crash_requeues: 0,
+            recomputes: 0,
+            blacklists: 0,
+            blacklist_rejoins: 0,
+            restarts: 0,
+            du_device_failures: 0,
+            degraded_tasks: 0,
+            jobs_shed: 0,
+            jobs_failed: 0,
+            wasted_ns: 0.0,
+            recompute_busy_ns: 0.0,
+            per_tenant: Vec::new(),
+            fold_checksum: 0,
+        }
+    }
+
+    #[test]
+    fn derived_rates_guard_zero_denominators() {
+        let out = empty_outcome();
+        assert_eq!(out.mean_latency_ns(), 0.0, "0 completions");
+        assert_eq!(out.utilization(0), 0.0, "0 executors");
+        assert_eq!(out.utilization(64), 0.0, "0 makespan");
+        assert_eq!(out.goodput(), 0.0, "no work at all");
+        assert_eq!(out.recompute_share(), 0.0);
+        assert_eq!(out.shed_rate(), 0.0, "0 arrivals");
+        assert_eq!(out.throughput_per_sec(), 0.0);
+
+        let mut some = empty_outcome();
+        some.jobs_completed = 4;
+        some.job_latency_sum_ns = 8.0;
+        some.busy_ns = 3.0;
+        some.wasted_ns = 1.0;
+        some.recompute_busy_ns = 1.5;
+        some.makespan_ns = 2e9;
+        some.arrivals = 8;
+        some.jobs_shed = 2;
+        assert_eq!(some.mean_latency_ns(), 2.0);
+        assert_eq!(some.utilization(0), 0.0, "still guards 0 executors");
+        assert!((some.utilization(1) - 3.0 / 2e9).abs() < 1e-18);
+        assert_eq!(some.goodput(), 0.75);
+        assert_eq!(some.recompute_share(), 0.5);
+        assert_eq!(some.shed_rate(), 0.25);
+        assert_eq!(some.throughput_per_sec(), 2.0);
+    }
 }

@@ -17,7 +17,15 @@
 //!   re-executed from scratch (Spark-style lineage re-execution);
 //! * **accelerator fault** — one hardware serialization request fails
 //!   and the affected partition degrades to a configured software
-//!   serializer.
+//!   serializer;
+//! * **executor crash** — a cluster executor silently stops mid-task;
+//!   the scheduler's heartbeat detector declares it dead, kills its
+//!   in-flight attempt, and recomputes any lost outputs;
+//! * **node failure** — a whole node (all its executors and its DU
+//!   device contexts) goes down at once;
+//! * **task failure** — one task attempt fails without taking its
+//!   executor down (a flaky host); repeated failures on the same
+//!   executor feed the scheduler's blacklist accounting.
 //!
 //! Determinism is the contract: every draw comes from a
 //! [`sdheap::rng::Rng`] stream derived from `(seed, scope)`, where the
@@ -49,6 +57,16 @@ pub struct FaultConfig {
     /// Per-reload probability that a spill image comes back corrupted
     /// (detected by the block checksum; recovered via lineage).
     pub spill_corruption: f64,
+    /// Per-dispatch probability that a cluster executor crashes while
+    /// running the dispatched attempt (drawn from the executor's scoped
+    /// stream; the crash lands at an interior fraction of the service).
+    pub exec_crash: f64,
+    /// Per-dispatch probability that the executor's whole node fails
+    /// (drawn from the node's scoped stream).
+    pub node_failure: f64,
+    /// Per-dispatch probability that the attempt fails without killing
+    /// its executor (a flaky-task failure, retried with backoff).
+    pub task_failure: f64,
     /// Retry budget: failed fetches are retried at most this many
     /// times; the final attempt within the budget always succeeds (the
     /// model guarantees forward progress, so folds stay exact).
@@ -73,6 +91,9 @@ impl FaultConfig {
             mapper_death: 0.0,
             accel_fault: 0.0,
             spill_corruption: 0.0,
+            exec_crash: 0.0,
+            node_failure: 0.0,
+            task_failure: 0.0,
             max_retries: 4,
             backoff_ns: 50_000.0,
             timeout_ns: 1_000_000.0,
@@ -89,6 +110,9 @@ impl FaultConfig {
             mapper_death: rate,
             accel_fault: rate,
             spill_corruption: rate,
+            exec_crash: rate,
+            node_failure: rate,
+            task_failure: rate,
             ..FaultConfig::none()
         }
     }
@@ -101,6 +125,9 @@ impl FaultConfig {
             || self.mapper_death > 0.0
             || self.accel_fault > 0.0
             || self.spill_corruption > 0.0
+            || self.exec_crash > 0.0
+            || self.node_failure > 0.0
+            || self.task_failure > 0.0
     }
 
     /// The injector stream for a stable entity id.
@@ -176,6 +203,44 @@ impl FaultInjector {
         } else {
             None
         }
+    }
+
+    /// Whether the executor behind this stream crashes during the
+    /// attempt just dispatched, and if so at which interior fraction of
+    /// the attempt's service the machine stops.
+    pub fn exec_crashes(&mut self) -> Option<f64> {
+        if self.rng.gen_bool(self.cfg.exec_crash) {
+            Some(self.rng.gen_range_f64(0.05, 0.95))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the node behind this stream fails during the attempt
+    /// just dispatched on one of its executors, and if so at which
+    /// interior fraction of that attempt's service.
+    pub fn node_fails(&mut self) -> Option<f64> {
+        if self.rng.gen_bool(self.cfg.node_failure) {
+            Some(self.rng.gen_range_f64(0.05, 0.95))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the attempt just dispatched fails (without killing its
+    /// executor), and if so at which interior fraction of its service.
+    pub fn task_fails(&mut self) -> Option<f64> {
+        if self.rng.gen_bool(self.cfg.task_failure) {
+            Some(self.rng.gen_range_f64(0.05, 0.95))
+        } else {
+            None
+        }
+    }
+
+    /// A seeded uniform draw in `[0, 1)` — cooldown/backoff jitter that
+    /// stays on this scope's deterministic stream.
+    pub fn jitter(&mut self) -> f64 {
+        self.rng.gen_f64()
     }
 
     /// A deterministic single-byte corruption for a `len`-byte payload:
@@ -254,6 +319,28 @@ mod tests {
         for _ in 0..100 {
             let f = inj.mapper_dies().expect("rate 1 always fires");
             assert!(f > 0.0 && f < 1.0, "{f}");
+        }
+    }
+
+    #[test]
+    fn cluster_fault_draws_fire_and_stay_interior() {
+        let mut zero = FaultConfig::none().scoped(11);
+        for _ in 0..200 {
+            assert!(zero.exec_crashes().is_none());
+            assert!(zero.node_fails().is_none());
+            assert!(zero.task_fails().is_none());
+        }
+        let mut hot = FaultConfig::uniform(1.0, 11).scoped(11);
+        for _ in 0..200 {
+            for f in [
+                hot.exec_crashes().expect("rate 1 fires"),
+                hot.node_fails().expect("rate 1 fires"),
+                hot.task_fails().expect("rate 1 fires"),
+            ] {
+                assert!(f > 0.0 && f < 1.0, "{f}");
+            }
+            let j = hot.jitter();
+            assert!((0.0..1.0).contains(&j), "{j}");
         }
     }
 

@@ -30,6 +30,10 @@ pub const T_NIC: u32 = 3;
 /// DU-context wait stream of a cluster executor (queueing for a shared
 /// accelerator deserialization context).
 pub const T_DU: u32 = 4;
+/// Fault-lifecycle stream of a cluster executor (crash/undetected
+/// window/blacklist/restart instants and spans) and of the driver (job
+/// shed/failed instants).
+pub const T_FAIL: u32 = 5;
 
 /// Accelerator SU `u` traces on thread `u`; DU `u` on
 /// `DU_TID_BASE + u`.

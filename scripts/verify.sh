@@ -75,10 +75,19 @@ cmp target/trace_report_jobs1.json target/trace_report_jobs4.json \
 cmp target/trace_jobs1.json target/trace_jobs4.json \
   || { echo "chrome trace differs between 1 and 4 jobs"; exit 1; }
 
-echo "== cluster smoke + thread-count determinism =="
-# The binary itself asserts speculation preserves every job's fold and
-# never worsens the makespan, reconciles the exported telemetry
-# counters against its report, and exits non-zero on any mismatch.
+echo "== cluster + cluster-faults smoke, thread-count determinism =="
+# One invocation covers both the healthy sweeps and the fault domain:
+# the smoke config's fault cells (crash, heartbeat, blacklist,
+# DU-failure, admission) all run on the 512-executor base cluster. The
+# binary itself asserts speculation preserves every job's fold and
+# never worsens the makespan, that every fault cell accounts for every
+# arrival (completed + shed + failed) with crash/detection/restart
+# parity, that the crash-0 cell is byte-identical to a run with no
+# fault domain, and it reconciles the exported telemetry counters
+# (including every cluster.* fault counter, on a healthy cell and on a
+# fault-storm cell) against its report — exiting non-zero on any
+# mismatch. The cmp then proves the whole report, fault ledger
+# included, is byte-identical for 1 vs 4 worker threads.
 cargo run --release -p cereal-bench --bin cluster $CARGO_FLAGS -- \
   --smoke --jobs 1 --out target/cluster_jobs1.json
 cargo run --release -p cereal-bench --bin cluster $CARGO_FLAGS -- \
