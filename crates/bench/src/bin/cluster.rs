@@ -34,7 +34,8 @@
 
 use cereal_bench::table::{ns, Table};
 use cluster::{run_cluster, run_cluster_sunk, CellResult, ClusterConfig, ClusterOutcome};
-use telemetry::{JsonWriter, Recorder};
+use telemetry::critpath::{self, Analysis, Timeline};
+use telemetry::{JsonWriter, Recon, Recorder};
 
 fn run_cell(cfg: &ClusterConfig) -> CellResult {
     let outcome = run_cluster(cfg).unwrap_or_else(|e| {
@@ -71,84 +72,61 @@ fn run_fault_cell(cfg: &ClusterConfig) -> CellResult {
     cell
 }
 
-/// One reconciliation check; failures are reported, not fatal per-check.
-struct Recon {
-    checks: u64,
-    failures: u64,
-}
-
-impl Recon {
-    fn ok(&mut self, cond: bool, what: &str) {
-        self.checks += 1;
-        if !cond {
-            self.failures += 1;
-            eprintln!("cluster: telemetry reconciliation FAILED: {what}");
-        }
-    }
-
-    fn eq_u64(&mut self, counter: u64, field: u64, what: &str) {
-        self.ok(counter == field, &format!("{what}: counter {counter} != report {field}"));
-    }
-
-    fn close_f64(&mut self, a: f64, b: f64, what: &str) {
-        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
-        self.ok((a - b).abs() <= tol, &format!("{what}: {a} != {b}"));
-    }
-}
-
 /// Re-runs `cfg` under a recorder and reconciles every booked counter,
-/// gauge and histogram against the report's own accumulators.
-fn reconcile(cfg: &ClusterConfig, untraced: &ClusterOutcome) -> Recon {
+/// gauge and histogram against the report's own accumulators. Returns
+/// the checklist plus the recorder so the causal critical-path analysis
+/// reuses the same trace.
+fn reconcile(cfg: &ClusterConfig, untraced: &ClusterOutcome) -> (Recon, Recorder) {
     let mut rec = Recorder::new();
     let traced = run_cluster_sunk(cfg, &mut rec).unwrap_or_else(|e| {
         eprintln!("traced cluster run failed: {e}");
         std::process::exit(1);
     });
     let m = &rec.metrics;
-    let mut r = Recon { checks: 0, failures: 0 };
-    r.ok(traced == *untraced, "traced outcome != untraced outcome");
-    r.eq_u64(m.counter("cluster.arrivals"), traced.arrivals, "arrivals");
-    r.eq_u64(m.counter("cluster.jobs_completed"), traced.jobs_completed, "jobs_completed");
-    r.eq_u64(m.counter("cluster.tasks_launched"), traced.tasks_launched, "tasks_launched");
-    r.eq_u64(m.counter("cluster.tasks_completed"), traced.tasks_completed, "tasks_completed");
-    r.eq_u64(m.counter("cluster.stragglers"), traced.stragglers, "stragglers");
-    r.eq_u64(m.counter("cluster.spec_launches"), traced.spec_launches, "spec_launches");
-    r.eq_u64(m.counter("cluster.spec_wins"), traced.spec_wins, "spec_wins");
-    r.eq_u64(m.counter("cluster.du_waits"), traced.du_waits, "du_waits");
+    let mut r = Recon::new(1e-9);
+    r.cond(traced == *untraced, "traced outcome == untraced outcome");
+    r.exact("arrivals", m.counter("cluster.arrivals"), traced.arrivals);
+    r.exact("jobs_completed", m.counter("cluster.jobs_completed"), traced.jobs_completed);
+    r.exact("tasks_launched", m.counter("cluster.tasks_launched"), traced.tasks_launched);
+    r.exact("tasks_completed", m.counter("cluster.tasks_completed"), traced.tasks_completed);
+    r.exact("stragglers", m.counter("cluster.stragglers"), traced.stragglers);
+    r.exact("spec_launches", m.counter("cluster.spec_launches"), traced.spec_launches);
+    r.exact("spec_wins", m.counter("cluster.spec_wins"), traced.spec_wins);
+    r.exact("du_waits", m.counter("cluster.du_waits"), traced.du_waits);
     // The outcome's fabric numbers come from the fabric's own ledgers,
     // the counters from event-site booking — a genuine cross-check.
-    r.eq_u64(m.counter("cluster.fabric_messages"), traced.fabric_messages, "fabric_messages");
-    r.eq_u64(m.counter("cluster.fabric_bytes"), traced.fabric_bytes, "fabric_bytes");
+    r.exact("fabric_messages", m.counter("cluster.fabric_messages"), traced.fabric_messages);
+    r.exact("fabric_bytes", m.counter("cluster.fabric_bytes"), traced.fabric_bytes);
     // The fault ledger: every counter the fault domain books at its
     // event site (all zero, and checked to be zero, on healthy cells).
-    r.eq_u64(m.counter("cluster.jobs_shed"), traced.jobs_shed, "jobs_shed");
-    r.eq_u64(m.counter("cluster.jobs_failed"), traced.jobs_failed, "jobs_failed");
-    r.eq_u64(m.counter("cluster.exec_crashes"), traced.exec_crashes, "exec_crashes");
-    r.eq_u64(m.counter("cluster.node_crashes"), traced.node_crashes, "node_crashes");
-    r.eq_u64(m.counter("cluster.heartbeat_deaths"), traced.heartbeat_deaths, "heartbeat_deaths");
-    r.eq_u64(m.counter("cluster.fetch_fail_deaths"), traced.fetch_fail_deaths, "fetch_fail_deaths");
-    r.eq_u64(m.counter("cluster.crash_task_kills"), traced.crash_task_kills, "crash_task_kills");
-    r.eq_u64(m.counter("cluster.task_failures"), traced.task_failures, "task_failures");
-    r.eq_u64(m.counter("cluster.task_retries"), traced.task_retries, "task_retries");
-    r.eq_u64(m.counter("cluster.crash_requeues"), traced.crash_requeues, "crash_requeues");
-    r.eq_u64(m.counter("cluster.recomputes"), traced.recomputes, "recomputes");
-    r.eq_u64(m.counter("cluster.blacklists"), traced.blacklists, "blacklists");
-    r.eq_u64(m.counter("cluster.blacklist_rejoins"), traced.blacklist_rejoins, "blacklist_rejoins");
-    r.eq_u64(m.counter("cluster.restarts"), traced.restarts, "restarts");
-    r.eq_u64(
+    r.exact("jobs_shed", m.counter("cluster.jobs_shed"), traced.jobs_shed);
+    r.exact("jobs_failed", m.counter("cluster.jobs_failed"), traced.jobs_failed);
+    r.exact("exec_crashes", m.counter("cluster.exec_crashes"), traced.exec_crashes);
+    r.exact("node_crashes", m.counter("cluster.node_crashes"), traced.node_crashes);
+    r.exact("heartbeat_deaths", m.counter("cluster.heartbeat_deaths"), traced.heartbeat_deaths);
+    r.exact("fetch_fail_deaths", m.counter("cluster.fetch_fail_deaths"), traced.fetch_fail_deaths);
+    r.exact("crash_task_kills", m.counter("cluster.crash_task_kills"), traced.crash_task_kills);
+    r.exact("task_failures", m.counter("cluster.task_failures"), traced.task_failures);
+    r.exact("task_retries", m.counter("cluster.task_retries"), traced.task_retries);
+    r.exact("crash_requeues", m.counter("cluster.crash_requeues"), traced.crash_requeues);
+    r.exact("recomputes", m.counter("cluster.recomputes"), traced.recomputes);
+    r.exact("blacklists", m.counter("cluster.blacklists"), traced.blacklists);
+    r.exact("blacklist_rejoins", m.counter("cluster.blacklist_rejoins"), traced.blacklist_rejoins);
+    r.exact("restarts", m.counter("cluster.restarts"), traced.restarts);
+    r.exact(
+        "du_device_failures",
         m.counter("cluster.du_device_failures"),
         traced.du_device_failures,
-        "du_device_failures",
     );
-    r.eq_u64(m.counter("cluster.degraded_tasks"), traced.degraded_tasks, "degraded_tasks");
+    r.exact("degraded_tasks", m.counter("cluster.degraded_tasks"), traced.degraded_tasks);
     match m.histogram("cluster.wasted_ns") {
-        Some(h) => r.close_f64(h.sum, traced.wasted_ns, "wasted_ns sum"),
-        None => r.ok(traced.wasted_ns == 0.0, "wasted_ns histogram missing"),
+        Some(h) => r.close("wasted_ns sum", h.sum, traced.wasted_ns),
+        None => r.cond(traced.wasted_ns == 0.0, "wasted_ns histogram missing"),
     }
     match m.histogram("cluster.recompute_service_ns") {
-        Some(h) => r.close_f64(h.sum, traced.recompute_busy_ns, "recompute_service_ns sum"),
+        Some(h) => r.close("recompute_service_ns sum", h.sum, traced.recompute_busy_ns),
         None => {
-            r.ok(traced.recompute_busy_ns == 0.0, "recompute_service_ns histogram missing");
+            r.cond(traced.recompute_busy_ns == 0.0, "recompute_service_ns histogram missing");
         }
     }
     let per_tenant: u64 = (0..cfg.tenants.min(8))
@@ -156,41 +134,59 @@ fn reconcile(cfg: &ClusterConfig, untraced: &ClusterOutcome) -> Recon {
             "cluster.tenant2.jobs", "cluster.tenant3.jobs", "cluster.tenant4.jobs",
             "cluster.tenant5.jobs", "cluster.tenant6.jobs", "cluster.tenant7.jobs"][t]))
         .sum();
-    r.eq_u64(per_tenant, traced.jobs_completed, "per-tenant job counters");
+    r.exact("per-tenant job counters", per_tenant, traced.jobs_completed);
     match m.histogram("cluster.job_latency_ns") {
         Some(h) => {
-            r.eq_u64(h.count, traced.jobs_completed, "job_latency_ns count");
-            r.close_f64(h.sum, traced.job_latency_sum_ns, "job_latency_ns sum");
-            r.close_f64(h.max, traced.job_latency_max_ns, "job_latency_ns max");
+            r.exact("job_latency_ns count", h.count, traced.jobs_completed);
+            r.close("job_latency_ns sum", h.sum, traced.job_latency_sum_ns);
+            r.close("job_latency_ns max", h.max, traced.job_latency_max_ns);
         }
-        None => r.ok(false, "job_latency_ns histogram missing"),
+        None => r.cond(false, "job_latency_ns histogram missing"),
     }
     match m.histogram("cluster.du_wait_ns") {
         Some(h) => {
-            r.eq_u64(h.count, traced.du_waits, "du_wait_ns count");
-            r.close_f64(h.sum, traced.du_wait_ns, "du_wait_ns sum");
+            r.exact("du_wait_ns count", h.count, traced.du_waits);
+            r.close("du_wait_ns sum", h.sum, traced.du_wait_ns);
         }
-        None => r.ok(traced.du_waits == 0, "du_wait_ns histogram missing"),
+        None => r.cond(traced.du_waits == 0, "du_wait_ns histogram missing"),
     }
     match m.histogram("cluster.task_service_ns") {
-        Some(h) => r.eq_u64(h.count, traced.tasks_launched, "task_service_ns count"),
-        None => r.ok(false, "task_service_ns histogram missing"),
+        Some(h) => r.exact("task_service_ns count", h.count, traced.tasks_launched),
+        None => r.cond(false, "task_service_ns histogram missing"),
     }
     match m.gauge_value("cluster.queue_depth") {
-        Some(g) => r.close_f64(g.max, traced.max_queue_depth as f64, "queue_depth max"),
-        None => r.ok(false, "queue_depth gauge missing"),
+        Some(g) => r.close("queue_depth max", g.max, traced.max_queue_depth as f64),
+        None => r.cond(false, "queue_depth gauge missing"),
     }
     match m.gauge_value("cluster.running_tasks") {
-        Some(g) => r.close_f64(g.max, traced.max_running as f64, "running_tasks max"),
-        None => r.ok(false, "running_tasks gauge missing"),
+        Some(g) => r.close("running_tasks max", g.max, traced.max_running as f64),
+        None => r.cond(false, "running_tasks gauge missing"),
     }
     let lanes = rec
         .process_names
         .keys()
         .filter(|&&pid| pid >= telemetry::ids::CLUSTER_PID_BASE)
         .count() as u64;
-    r.eq_u64(lanes, traced.executors_used, "per-executor trace lanes");
-    r
+    r.exact("per-executor trace lanes", lanes, traced.executors_used);
+    (r, rec)
+}
+
+/// Runs the causal critical-path analysis on a traced cell. The blame
+/// conservation law (categories sum to job latency, critical path
+/// bounded by the makespan) is enforced inside [`critpath::analyze`];
+/// a violation is a telemetry-layer bug and exits non-zero.
+fn blame_cell(label: &str, rec: &Recorder, outcome: &ClusterOutcome) -> Analysis {
+    let a = critpath::analyze(rec, outcome.makespan_ns).unwrap_or_else(|e| {
+        eprintln!("cluster: {label} critical-path analysis FAILED: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "cluster: {label} blame over {} jobs: dominant {}, critical path {}",
+        a.jobs.len(),
+        a.dominant_category(),
+        ns(a.critical_path_ns)
+    );
+    a
 }
 
 fn main() {
@@ -472,11 +468,12 @@ fn main() {
     recon_cfg.straggler_rate = *straggler_axis.last().expect("axis non-empty");
     recon_cfg.speculation = true;
     let recon_cell = run_cell(&recon_cfg);
-    let recon = reconcile(&recon_cfg, &recon_cell.outcome);
+    let (recon, recon_rec) = reconcile(&recon_cfg, &recon_cell.outcome);
+    recon.eprint_failures("cluster");
     eprintln!(
         "cluster: telemetry reconciliation {}/{} checks passed",
-        recon.checks - recon.failures,
-        recon.checks
+        recon.passed(),
+        recon.total()
     );
 
     // And the most faulted cell: a crash + task-failure + DU-failure
@@ -488,12 +485,21 @@ fn main() {
     fault_recon_cfg.fault.du_fail_rate = 0.1;
     fault_recon_cfg.fault.blacklist_threshold = 2;
     let fault_recon_cell = run_fault_cell(&fault_recon_cfg);
-    let fault_recon = reconcile(&fault_recon_cfg, &fault_recon_cell.outcome);
+    let (fault_recon, fault_rec) = reconcile(&fault_recon_cfg, &fault_recon_cell.outcome);
+    fault_recon.eprint_failures("cluster");
     eprintln!(
         "cluster: fault-storm reconciliation {}/{} checks passed",
-        fault_recon.checks - fault_recon.failures,
-        fault_recon.checks
+        fault_recon.passed(),
+        fault_recon.total()
     );
+
+    // ---- Causal critical-path blame ------------------------------------
+    // Where did every nanosecond of job latency go? The healthy cell's
+    // latency should be queue/compute/serde-dominated; the fault storm
+    // shifts blame into recovery, blacklist drain and speculation waste.
+    let blame = blame_cell("healthy", &recon_rec, &recon_cell.outcome);
+    let fault_blame = blame_cell("fault-storm", &fault_rec, &fault_recon_cell.outcome);
+    let timeline = Timeline::from_recorder(&recon_rec);
 
     let mut w = JsonWriter::new();
     w.begin_obj();
@@ -558,21 +564,27 @@ fn main() {
     w.end_arr();
     w.key("reconciliation");
     w.begin_obj();
-    w.field_u64("checks", recon.checks);
-    w.field_u64("failures", recon.failures);
-    w.field_u64("fault_checks", fault_recon.checks);
-    w.field_u64("fault_failures", fault_recon.failures);
+    w.field_u64("checks", recon.total());
+    w.field_u64("failures", recon.failures());
+    w.field_u64("fault_checks", fault_recon.total());
+    w.field_u64("fault_failures", fault_recon.failures());
     w.end_obj();
+    w.key("blame");
+    blame.render(&mut w);
+    w.key("fault_blame");
+    fault_blame.render(&mut w);
+    w.key("timeline");
+    timeline.render(&mut w);
     w.end_obj();
     let mut json = w.finish();
     json.push('\n');
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 
-    if recon.failures + fault_recon.failures > 0 {
+    if recon.failures() + fault_recon.failures() > 0 {
         eprintln!(
             "cluster: {} reconciliation checks failed",
-            recon.failures + fault_recon.failures
+            recon.failures() + fault_recon.failures()
         );
         std::process::exit(1);
     }

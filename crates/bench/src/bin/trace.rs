@@ -63,17 +63,9 @@ fn main() {
     std::fs::write(&trace_path, &trace).expect("write chrome trace");
     println!("wrote {trace_path}");
 
-    let checks = trace_suite::reconcile(&run);
-    let failed: Vec<_> = checks.iter().filter(|c| !c.ok).collect();
-    for c in &checks {
-        if !c.ok {
-            eprintln!(
-                "reconcile FAIL {}: traced {} != reported {}",
-                c.name, c.traced, c.reported
-            );
-        }
-    }
-    eprintln!("trace: {}/{} counters reconcile", checks.len() - failed.len(), checks.len());
+    let recon = trace_suite::reconcile(&run);
+    recon.eprint_failures("trace");
+    eprintln!("trace: {}/{} counters reconcile", recon.passed(), recon.total());
 
     let mut w = JsonWriter::new();
     w.begin_obj();
@@ -81,18 +73,9 @@ fn main() {
     w.field_u64("spans", rec.spans.len() as u64);
     w.field_u64("instants", rec.instants.len() as u64);
     w.field_u64("processes", rec.process_names.len() as u64);
-    w.field_bool("reconciled", failed.is_empty());
+    w.field_bool("reconciled", recon.all_ok());
     w.key("reconciliation");
-    w.begin_arr();
-    for c in &checks {
-        w.begin_obj();
-        w.field_str("name", c.name);
-        w.field_f64("traced", c.traced, 3);
-        w.field_f64("reported", c.reported, 3);
-        w.field_bool("ok", c.ok);
-        w.end_obj();
-    }
-    w.end_arr();
+    recon.render(&mut w);
     w.key("metrics");
     w.raw_val(&rec.metrics.to_json());
     w.end_obj();
@@ -101,8 +84,8 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 
-    if !failed.is_empty() {
-        eprintln!("trace: {} counters FAILED to reconcile", failed.len());
+    if !recon.all_ok() {
+        eprintln!("trace: {} counters FAILED to reconcile", recon.failures());
         std::process::exit(1);
     }
 }

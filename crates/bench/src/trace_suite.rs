@@ -15,7 +15,7 @@ use sdheap::{Addr, Heap};
 use shuffle::{run_backend_sunk, BackendRun, FaultSpec, ShuffleConfig};
 use store::{run_rdd_sunk, AccessPattern, MissPolicy, RddConfig, RddOutcome, DST_BASE};
 use telemetry::ids::ACCEL_PID;
-use telemetry::Recorder;
+use telemetry::{Recon, Recorder};
 use workloads::{MicroBench, Scale};
 
 /// Seed for the injected faults (shared with the faults experiment so
@@ -106,34 +106,11 @@ pub fn run(jobs: usize) -> TraceRun {
     TraceRun { recorder: rec, shuffle, shuffle_cfg: scfg, rdd }
 }
 
-/// One reconciliation check: the trace counter's value against the
-/// report's.
-pub struct Check {
-    /// Telemetry-side name.
-    pub name: &'static str,
-    /// What the trace recorded.
-    pub traced: f64,
-    /// What the report measured.
-    pub reported: f64,
-    /// Whether they agree (exactly for counters, to accumulation
-    /// tolerance for histogram sums).
-    pub ok: bool,
-}
-
-fn exact(name: &'static str, traced: u64, reported: u64) -> Check {
-    Check { name, traced: traced as f64, reported: reported as f64, ok: traced == reported }
-}
-
-fn close(name: &'static str, traced: f64, reported: f64) -> Check {
-    let ok = (traced - reported).abs() <= 1e-6 * reported.abs().max(1.0);
-    Check { name, traced, reported, ok }
-}
-
 /// Cross-checks every exported counter that has a report-side twin.
 /// Counters must match exactly; histogram sums (f64) to accumulation
-/// tolerance. An empty failure set is the acceptance criterion the
+/// tolerance. An all-green [`Recon`] is the acceptance criterion the
 /// trace binary and the reconciliation test enforce.
-pub fn reconcile(run: &TraceRun) -> Vec<Check> {
+pub fn reconcile(run: &TraceRun) -> Recon {
     let m = &run.recorder.metrics;
     let rep = &run.shuffle.report;
     let f = rep.faults.expect("trace shuffle runs with fault injection");
@@ -142,60 +119,55 @@ pub fn reconcile(run: &TraceRun) -> Vec<Check> {
     let s = &run.rdd.store;
 
     let hsum = |name: &str| m.histogram(name).map_or(0.0, |h| h.sum);
-    let mut checks = vec![
-        // Shuffle: booked at flush/decode/compose event sites, compared
-        // against the report's independently summed totals.
-        exact("shuffle.messages", m.counter("shuffle.messages"), rep.messages),
-        exact("shuffle.wire_bytes", m.counter("shuffle.wire_bytes"), rep.wire_bytes),
-        exact("shuffle.records", m.counter("shuffle.records"), rep.records),
-        exact(
-            "shuffle.backpressure_blocks",
-            m.counter("shuffle.backpressure_blocks"),
-            rep.net.backpressure_blocks,
-        ),
-        exact("shuffle.gc_collections", m.counter("shuffle.gc_collections"), gc.collections),
-        exact("shuffle.spills", m.counter("shuffle.spills"), spill.spills),
-        exact("shuffle.spilled_bytes", m.counter("shuffle.spilled_bytes"), spill.spilled_bytes),
-        exact("shuffle.spill_fetches", m.counter("shuffle.spill_fetches"), spill.fetches),
-        exact("shuffle.retries", m.counter("shuffle.retries"), f.retries),
-        exact("shuffle.lost_messages", m.counter("shuffle.lost_messages"), f.lost_messages),
-        exact(
-            "shuffle.wire_corruptions",
-            m.counter("shuffle.wire_corruptions"),
-            f.wire_corruptions,
-        ),
-        exact("shuffle.checksum_errors", m.counter("shuffle.checksum_errors"), f.checksum_errors),
-        exact("shuffle.mapper_deaths", m.counter("shuffle.mapper_deaths"), f.mapper_deaths),
-        exact("shuffle.accel_faults", m.counter("shuffle.accel_faults"), f.accel_faults),
-        exact("shuffle.spill_retries", m.counter("shuffle.spill_retries"), f.spill_retries),
-        exact("shuffle.fabric_bytes", m.counter("shuffle.fabric_bytes"), f.fabric_bytes),
-        close("shuffle.ser_busy_ns", hsum("shuffle.ser_busy_ns"), rep.ser_busy_ns),
-        close("shuffle.de_busy_ns", hsum("shuffle.de_busy_ns"), rep.de_busy_ns),
-        close("shuffle.gc_pause_ns", hsum("shuffle.gc_pause_ns"), gc.pause_ns),
-        // Store: hit/miss counters booked per access, evictions and
-        // spills as per-operation deltas.
-        exact("store.hits", m.counter("store.hits"), s.hits),
-        exact("store.disk_fetches", m.counter("store.disk_fetches"), s.disk_fetches),
-        exact("store.recomputes", m.counter("store.recomputes"), s.recomputes),
-        exact("store.evictions", m.counter("store.evictions"), s.evictions),
-        exact("store.evicted_bytes", m.counter("store.evicted_bytes"), s.evicted_bytes),
-        exact("store.spills", m.counter("store.spills"), s.spills),
-        exact("store.spilled_bytes", m.counter("store.spilled_bytes"), s.spilled_bytes),
-        exact("store.read_retries", m.counter("store.read_retries"), s.read_retries),
-        exact("store.checksum_errors", m.counter("store.checksum_errors"), s.checksum_errors),
-        exact("store.disk_read_bytes", m.counter("store.disk_read_bytes"), run.rdd.disk_read_bytes),
-        exact(
-            "store.disk_write_bytes",
-            m.counter("store.disk_write_bytes"),
-            run.rdd.disk_write_bytes,
-        ),
-        exact("store.disk_seeks", m.counter("store.disk_seeks"), run.rdd.disk_seeks),
-    ];
+    let mut r = Recon::new(1e-6);
+    // Shuffle: booked at flush/decode/compose event sites, compared
+    // against the report's independently summed totals.
+    r.exact("shuffle.messages", m.counter("shuffle.messages"), rep.messages);
+    r.exact("shuffle.wire_bytes", m.counter("shuffle.wire_bytes"), rep.wire_bytes);
+    r.exact("shuffle.records", m.counter("shuffle.records"), rep.records);
+    r.exact(
+        "shuffle.backpressure_blocks",
+        m.counter("shuffle.backpressure_blocks"),
+        rep.net.backpressure_blocks,
+    );
+    r.exact("shuffle.gc_collections", m.counter("shuffle.gc_collections"), gc.collections);
+    r.exact("shuffle.spills", m.counter("shuffle.spills"), spill.spills);
+    r.exact("shuffle.spilled_bytes", m.counter("shuffle.spilled_bytes"), spill.spilled_bytes);
+    r.exact("shuffle.spill_fetches", m.counter("shuffle.spill_fetches"), spill.fetches);
+    r.exact("shuffle.retries", m.counter("shuffle.retries"), f.retries);
+    r.exact("shuffle.lost_messages", m.counter("shuffle.lost_messages"), f.lost_messages);
+    r.exact("shuffle.wire_corruptions", m.counter("shuffle.wire_corruptions"), f.wire_corruptions);
+    r.exact("shuffle.checksum_errors", m.counter("shuffle.checksum_errors"), f.checksum_errors);
+    r.exact("shuffle.mapper_deaths", m.counter("shuffle.mapper_deaths"), f.mapper_deaths);
+    r.exact("shuffle.accel_faults", m.counter("shuffle.accel_faults"), f.accel_faults);
+    r.exact("shuffle.spill_retries", m.counter("shuffle.spill_retries"), f.spill_retries);
+    r.exact("shuffle.fabric_bytes", m.counter("shuffle.fabric_bytes"), f.fabric_bytes);
+    r.close("shuffle.ser_busy_ns", hsum("shuffle.ser_busy_ns"), rep.ser_busy_ns);
+    r.close("shuffle.de_busy_ns", hsum("shuffle.de_busy_ns"), rep.de_busy_ns);
+    r.close("shuffle.gc_pause_ns", hsum("shuffle.gc_pause_ns"), gc.pause_ns);
+    // Store: hit/miss counters booked per access, evictions and
+    // spills as per-operation deltas.
+    r.exact("store.hits", m.counter("store.hits"), s.hits);
+    r.exact("store.disk_fetches", m.counter("store.disk_fetches"), s.disk_fetches);
+    r.exact("store.recomputes", m.counter("store.recomputes"), s.recomputes);
+    r.exact("store.evictions", m.counter("store.evictions"), s.evictions);
+    r.exact("store.evicted_bytes", m.counter("store.evicted_bytes"), s.evicted_bytes);
+    r.exact("store.spills", m.counter("store.spills"), s.spills);
+    r.exact("store.spilled_bytes", m.counter("store.spilled_bytes"), s.spilled_bytes);
+    r.exact("store.read_retries", m.counter("store.read_retries"), s.read_retries);
+    r.exact("store.checksum_errors", m.counter("store.checksum_errors"), s.checksum_errors);
+    r.exact("store.disk_read_bytes", m.counter("store.disk_read_bytes"), run.rdd.disk_read_bytes);
+    r.exact(
+        "store.disk_write_bytes",
+        m.counter("store.disk_write_bytes"),
+        run.rdd.disk_write_bytes,
+    );
+    r.exact("store.disk_seeks", m.counter("store.disk_seeks"), run.rdd.disk_seeks);
     // Accelerator requests: one per non-faulted shuffle batch on each
     // side (faulted batches degrade to the software fallback), plus the
     // demonstration round trip.
     let accel_batches = rep.messages - f.accel_faults;
-    checks.push(exact("accel.ser_requests", m.counter("accel.ser_requests"), accel_batches + 1));
-    checks.push(exact("accel.de_requests", m.counter("accel.de_requests"), accel_batches + 1));
-    checks
+    r.exact("accel.ser_requests", m.counter("accel.ser_requests"), accel_batches + 1);
+    r.exact("accel.de_requests", m.counter("accel.de_requests"), accel_batches + 1);
+    r
 }

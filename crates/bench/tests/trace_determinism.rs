@@ -32,9 +32,10 @@ fn trace_is_byte_identical_across_job_counts() {
 #[test]
 fn every_counter_reconciles_with_the_reports() {
     let run = trace_suite::run(2);
-    let checks = trace_suite::reconcile(&run);
-    assert!(checks.len() >= 30, "reconciliation table lost checks");
-    let failed: Vec<String> = checks
+    let recon = trace_suite::reconcile(&run);
+    assert!(recon.total() >= 30, "reconciliation table lost checks");
+    let failed: Vec<String> = recon
+        .checks
         .iter()
         .filter(|c| !c.ok)
         .map(|c| format!("{}: traced {} != reported {}", c.name, c.traced, c.reported))

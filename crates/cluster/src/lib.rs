@@ -253,6 +253,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Worker threads for profile building (does not affect results).
     pub jobs: usize,
+    /// Simulated-clock bucket width for the traced gauge timeline
+    /// (utilization, queue depth, blacklist, DU occupancy). `0`
+    /// disables sampling; ignored entirely when tracing is off.
+    pub timeline_bucket_ns: f64,
 }
 
 impl ClusterConfig {
@@ -278,6 +282,7 @@ impl ClusterConfig {
             fault: ClusterFaultConfig::none(),
             seed: 0xC105_7E2_5EED,
             jobs: 1,
+            timeline_bucket_ns: 50_000.0,
         }
     }
 

@@ -38,6 +38,12 @@ pub struct MapTask {
     /// Simulated service time (build + shuffle + serialize, the
     /// mapper's full clock).
     pub service_ns: f64,
+    /// Fraction of the service spent serializing (engine busy time /
+    /// full clock, capped at 1: the accelerator's units serialize in
+    /// parallel, so their summed busy time can exceed the mapper's
+    /// wall window) — the blame attribution splits the compute window
+    /// with it.
+    pub ser_frac: f64,
 }
 
 /// One profiled reduce task.
@@ -73,6 +79,11 @@ pub struct ScanPart {
     /// backend — what a DU-failed node pays. Equals `read_ns` when
     /// fallback profiling is off.
     pub fallback_read_ns: f64,
+    /// Fraction of the materialize service spent serializing.
+    pub ser_frac: f64,
+    /// Fraction of the materialize service spent in GC pressure (the
+    /// rest of the lineage cost; `ser_frac + gc_frac <= 1`).
+    pub gc_frac: f64,
     /// The partition's fold.
     pub fold: Fold,
 }
@@ -173,6 +184,29 @@ impl JobProfile {
     pub fn stage_decodes(&self, s: usize) -> bool {
         s > 0
     }
+
+    /// Blame-category fractions `(ser, de, gc)` of task `t`'s service
+    /// window in stage `s`, measured during profiling. Decode stages
+    /// are pure deserialization; map/materialize stages split between
+    /// serialization, GC pressure, and (the remainder) compute.
+    pub fn components(&self, s: usize, t: usize) -> (f64, f64, f64) {
+        match &self.shape {
+            JobShape::Shuffle { maps, .. } => {
+                if s == 0 {
+                    (maps[t].ser_frac, 0.0, 0.0)
+                } else {
+                    (0.0, 1.0, 0.0)
+                }
+            }
+            JobShape::Scan { parts, .. } => {
+                if s == 0 {
+                    (parts[t].ser_frac, 0.0, parts[t].gc_frac)
+                } else {
+                    (0.0, 1.0, 0.0)
+                }
+            }
+        }
+    }
 }
 
 /// The shuffle configuration a tenant template profiles under:
@@ -206,7 +240,9 @@ fn profile_shuffle(cfg: &ClusterConfig, t: &TenantTemplate) -> Result<JobProfile
     let mut all_msgs: Vec<Message> = Vec::new();
     for out in outs {
         let out = out?;
-        maps.push(MapTask { service_ns: out.clock_ns });
+        let ser_frac =
+            if out.clock_ns > 0.0 { (out.ser_busy_ns / out.clock_ns).min(1.0) } else { 0.0 };
+        maps.push(MapTask { service_ns: out.clock_ns, ser_frac });
         all_msgs.extend(out.messages);
     }
     let reg = sc.agg().registry();
@@ -310,11 +346,18 @@ fn profile_scan(cfg: &ClusterConfig, t: &TenantTemplate, passes: usize) -> JobPr
             }
             None => p.de_ns,
         };
+        // The lineage cost is exactly GC pressure + serialization
+        // (`PartBuild::recompute_ns`), so the two fractions partition
+        // the materialize window.
+        let ser_frac =
+            if p.recompute_ns > 0.0 { (p.ser_ns / p.recompute_ns).min(1.0) } else { 0.0 };
         ScanPart {
             bytes: p.bytes.len() as u64,
             materialize_ns: p.recompute_ns,
             read_ns: p.de_ns,
             fallback_read_ns,
+            ser_frac,
+            gc_frac: if p.recompute_ns > 0.0 { 1.0 - ser_frac } else { 0.0 },
             fold: p.fold,
         }
     });

@@ -68,7 +68,7 @@ use std::collections::{BTreeSet, VecDeque};
 use store::Backend;
 use telemetry::ids::{CLUSTER_PID_BASE, DRIVER_PID, T_DU, T_FAIL, T_MAIN};
 use telemetry::rate::{per_sec, ratio};
-use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
+use telemetry::{EntityId, FlowEvent, Instant, NoopSink, Sample, Sink, Span};
 
 /// PRNG scope of the per-task straggler draws.
 const STRAGGLER_SCOPE: u64 = 0x57A6_61E2_0000;
@@ -299,6 +299,42 @@ struct ExecHealth {
     running: Option<usize>,
 }
 
+/// Why an attempt exists — its stable causal origin. The critical-path
+/// analysis reads this off the winning span to decide whether the
+/// stage's pre-queue wait was ordinary queueing, speculation delay, or
+/// recovery waste.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Origin {
+    /// First attempt of a freshly enqueued stage.
+    Fresh,
+    /// Speculative copy of a laggard original.
+    Spec,
+    /// Re-enqueue after a clean task failure's backoff.
+    Retry,
+    /// Re-enqueue after its executor was declared dead mid-run.
+    Crash,
+    /// Re-enqueue of a completed output lost with its executor.
+    Recompute,
+}
+
+impl Origin {
+    fn label(self) -> &'static str {
+        match self {
+            Origin::Fresh => "fresh",
+            Origin::Spec => "spec",
+            Origin::Retry => "retry",
+            Origin::Crash => "crash",
+            Origin::Recompute => "recompute",
+        }
+    }
+
+    /// Whether a winning attempt of this origin books as re-execution
+    /// pressure.
+    fn is_recompute(self) -> bool {
+        matches!(self, Origin::Retry | Origin::Crash | Origin::Recompute)
+    }
+}
+
 /// Why a task is being re-enqueued.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Requeue {
@@ -357,6 +393,10 @@ struct TaskState {
     fails: u32,
     /// A backoff `Retry` event is already scheduled.
     retry_pending: bool,
+    /// Causal source of the pending retry: the failing executor's fault
+    /// lane and the failure time, threaded into the retried attempt's
+    /// recovery flow edge.
+    retry_src: Option<(EntityId, f64)>,
 }
 
 #[derive(Clone, Debug)]
@@ -385,10 +425,12 @@ struct AttemptInfo {
     job: usize,
     stage: usize,
     task: usize,
-    speculative: bool,
-    /// A re-enqueued attempt (retry / crash requeue / recompute) —
-    /// its winning service books as recompute pressure.
-    recompute: bool,
+    /// Stable causal origin: fresh / speculative / retry / crash
+    /// requeue / lineage recompute.
+    origin: Origin,
+    /// Causal edge into this attempt: the entity and time whose failure
+    /// or laggardness spawned it, drawn as a flow arrow at dispatch.
+    flow_from: Option<(EntityId, f64, &'static str)>,
     dispatched: bool,
     cancelled: bool,
     /// Its executor crashed mid-service; the kill lands when the crash
@@ -396,7 +438,12 @@ struct AttemptInfo {
     doomed: bool,
     finished: bool,
     exec: usize,
+    /// When the attempt entered the pending queue.
+    pend_ns: f64,
     start_ns: f64,
+    /// When the attempt's input fetches completed (= dispatch time for
+    /// stage-0 attempts).
+    fetch_done_ns: f64,
     /// When compute began: dispatch + input fetches + DU wait. The
     /// laggard test measures elapsed *compute* time from here, so fetch
     /// and queueing delays (which the scheduler observed) never count
@@ -405,6 +452,12 @@ struct AttemptInfo {
     finish_ns: f64,
     /// DU context this attempt holds: `(node, ctx)`.
     du: Option<(usize, usize)>,
+}
+
+impl AttemptInfo {
+    fn is_spec(&self) -> bool {
+        matches!(self.origin, Origin::Spec)
+    }
 }
 
 struct Sched<'a, S: Sink> {
@@ -427,6 +480,9 @@ struct Sched<'a, S: Sink> {
     out: ClusterOutcome,
     /// Per-job fold digests, in arrival order.
     job_digests: Vec<u64>,
+    /// Monotonic flow-event id (the event loop is sequential on the
+    /// simulated clock, so the numbering is deterministic).
+    flow_seq: u64,
     sink: &'a mut S,
 }
 
@@ -483,23 +539,75 @@ impl<S: Sink> Sched<'_, S> {
         }
     }
 
+    /// Records a causal edge: work at `src` (time `t0`) caused work at
+    /// `dst` (time `t1`).
+    fn flow(&mut self, name: &'static str, src: EntityId, t0: f64, dst: EntityId, t1: f64) {
+        if S::ENABLED {
+            let id = self.flow_seq;
+            self.flow_seq += 1;
+            self.sink.flow(FlowEvent { id, name, src, t0_ns: t0, dst, t1_ns: t1 });
+        }
+    }
+
+    /// Emits the fixed-grid gauge snapshot at bucket boundary `t`:
+    /// executor utilization, live queue depth, blacklisted executors,
+    /// and busy DU contexts — the post-run timeline is rebuilt from
+    /// these samples.
+    fn emit_timeline(&mut self, t: f64) {
+        if !S::ENABLED {
+            return;
+        }
+        let driver = EntityId { pid: DRIVER_PID, tid: T_MAIN };
+        let util = self.running as f64 / self.cfg.executors as f64;
+        let blacklisted = self
+            .execs
+            .iter()
+            .filter(|h| matches!(h.state, ExecState::Blacklisted))
+            .count() as f64;
+        let du_busy = self
+            .du_free
+            .iter()
+            .flatten()
+            .filter(|&&free| free > t)
+            .count() as f64;
+        for (name, value) in [
+            ("cluster.timeline.utilization", util),
+            ("cluster.timeline.queue_depth", self.pending_live as f64),
+            ("cluster.timeline.blacklisted", blacklisted),
+            ("cluster.timeline.du_busy", du_busy),
+        ] {
+            self.sink.sample(Sample { entity: driver, name, t_ns: t, value });
+        }
+    }
+
     /// Queues one (fresh or re-enqueued) original attempt for a task,
     /// resetting its speculation slot so the new attempt can earn its
-    /// own copy.
-    fn push_attempt(&mut self, j: usize, s: usize, t: usize, recompute: bool) {
+    /// own copy. `flow_from` is the causal edge into the attempt (the
+    /// failure that spawned it), drawn at dispatch.
+    fn push_attempt(
+        &mut self,
+        now: f64,
+        j: usize,
+        s: usize,
+        t: usize,
+        origin: Origin,
+        flow_from: Option<(EntityId, f64, &'static str)>,
+    ) {
         let a = self.attempts.len();
         self.attempts.push(AttemptInfo {
             job: j,
             stage: s,
             task: t,
-            speculative: false,
-            recompute,
+            origin,
+            flow_from,
             dispatched: false,
             cancelled: false,
             doomed: false,
             finished: false,
             exec: 0,
+            pend_ns: now,
             start_ns: 0.0,
+            fetch_done_ns: 0.0,
             work_start_ns: 0.0,
             finish_ns: 0.0,
             du: None,
@@ -514,7 +622,19 @@ impl<S: Sink> Sched<'_, S> {
 
     /// Creates stage `s` of job `j` and queues one original attempt per
     /// task, drawing each task's straggler fate from its scoped stream.
-    fn enqueue_stage(&mut self, j: usize, s: usize) {
+    /// The driver's `stage.ready` instant is the stage's causal birth:
+    /// the blame analysis anchors the stage window here, and — because
+    /// the same `now` flows to the predecessor stage's winning span —
+    /// the anchor matches that span's end *exactly*.
+    fn enqueue_stage(&mut self, now: f64, j: usize, s: usize) {
+        if S::ENABLED {
+            self.sink.instant(Instant {
+                entity: EntityId { pid: DRIVER_PID, tid: T_MAIN },
+                name: "stage.ready",
+                t_ns: now,
+                attrs: vec![("job", (j as u64).into()), ("stage", (s as u64).into())],
+            });
+        }
         let profile = &self.profiles[self.jobs[j].tenant];
         let n = profile.stage_tasks(s);
         let kind = match (&profile.shape, s) {
@@ -547,6 +667,7 @@ impl<S: Sink> Sched<'_, S> {
                 spec_check: false,
                 fails: 0,
                 retry_pending: false,
+                retry_src: None,
             });
         }
         self.jobs[j].stages.push(StageState {
@@ -556,7 +677,7 @@ impl<S: Sink> Sched<'_, S> {
             completed_services: Vec::new(),
         });
         for t in 0..n {
-            self.push_attempt(j, s, t, false);
+            self.push_attempt(now, j, s, t, Origin::Fresh, None);
         }
     }
 
@@ -632,10 +753,20 @@ impl<S: Sink> Sched<'_, S> {
             let backend = profile.template.backend;
             let task = &self.jobs[j].stages[s].tasks[t];
             let (t_service, t_nominal) = (task.service_ns, task.nominal_ns);
-            let mut service = if info.speculative { t_nominal } else { t_service };
+            let mut service = if info.is_spec() { t_nominal } else { t_service };
+
+            // The causal edge that spawned this attempt (recovery or
+            // speculation), now that we know where it landed.
+            if S::ENABLED {
+                if let Some((src, t0, name)) = info.flow_from {
+                    self.flow(name, src, t0, self.exec_entity(e), now);
+                }
+            }
 
             // Input fetches over the shared fabric, all issued at
             // dispatch time; the ledgers serialize contending flows.
+            // Each fetch draws a flow arrow from the source output's
+            // executor to this attempt's arrival.
             let mut ready = now;
             match &profile.shape {
                 JobShape::Shuffle { reduces, .. } if s == 1 => {
@@ -645,15 +776,22 @@ impl<S: Sink> Sched<'_, S> {
                         ready = ready.max(arr);
                         self.sink.count("cluster.fabric_messages", 1);
                         self.sink.count("cluster.fabric_bytes", bytes);
+                        if S::ENABLED {
+                            self.flow("flow.fetch", self.exec_entity(from), now, self.exec_entity(e), arr);
+                        }
                     }
                 }
                 JobShape::Scan { parts, .. } if s > 0 => {
                     let from = self.jobs[j].stages[0].tasks[t].winner_exec;
                     if from != e {
                         let bytes = parts[t].bytes;
-                        ready = ready.max(self.fabric.send(from, e, bytes, now));
+                        let arr = self.fabric.send(from, e, bytes, now);
+                        ready = ready.max(arr);
                         self.sink.count("cluster.fabric_messages", 1);
                         self.sink.count("cluster.fabric_bytes", bytes);
+                        if S::ENABLED {
+                            self.flow("flow.fetch", self.exec_entity(from), now, self.exec_entity(e), arr);
+                        }
                     }
                 }
                 _ => {}
@@ -685,7 +823,7 @@ impl<S: Sink> Sched<'_, S> {
                     // Replay the fallback profile; originals keep their
                     // straggler inflation.
                     let fb = profile.fallback_service_ns(s, t);
-                    service = if info.speculative {
+                    service = if info.is_spec() {
                         fb
                     } else {
                         fb * (t_service / t_nominal)
@@ -693,7 +831,7 @@ impl<S: Sink> Sched<'_, S> {
                     self.out.degraded_tasks += 1;
                     self.sink.count("cluster.degraded_tasks", 1);
                 } else {
-                    let pool = &mut self.du_free[node];
+                    let pool = &self.du_free[node];
                     let ctx = (0..pool.len())
                         .min_by(|&x, &y| pool[x].partial_cmp(&pool[y]).expect("finite"))
                         .expect("every node has at least one DU context");
@@ -712,9 +850,18 @@ impl<S: Sink> Sched<'_, S> {
                                 t1_ns: start,
                                 attrs: vec![("node", (node as u64).into())],
                             });
+                            // DU-queue handoff: the wait lane releases
+                            // the attempt back to the task lane.
+                            self.flow(
+                                "flow.du",
+                                EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_DU },
+                                ready,
+                                EntityId { pid: CLUSTER_PID_BASE + e as u32, tid: T_MAIN },
+                                start,
+                            );
                         }
                     }
-                    pool[ctx] = start + service;
+                    self.du_free[node][ctx] = start + service;
                     du = Some((node, ctx));
                 }
             }
@@ -724,6 +871,7 @@ impl<S: Sink> Sched<'_, S> {
             at.dispatched = true;
             at.exec = e;
             at.start_ns = now;
+            at.fetch_done_ns = ready;
             at.work_start_ns = start;
             at.finish_ns = finish;
             at.du = du;
@@ -734,7 +882,7 @@ impl<S: Sink> Sched<'_, S> {
             self.out.tasks_launched += 1;
             self.sink.count("cluster.tasks_launched", 1);
             self.sink.observe("cluster.task_service_ns", service);
-            if info.speculative {
+            if info.is_spec() {
                 self.out.spec_launches += 1;
                 self.sink.count("cluster.spec_launches", 1);
                 if S::ENABLED {
@@ -890,7 +1038,8 @@ impl<S: Sink> Sched<'_, S> {
             self.out.crash_task_kills += 1;
             self.sink.count("cluster.crash_task_kills", 1);
             self.cancel(a, now);
-            self.requeue_task(now, info.job, info.stage, info.task, Requeue::Crash);
+            let src = self.fail_entity(e);
+            self.requeue_task(now, info.job, info.stage, info.task, Requeue::Crash, Some(src));
         }
         self.execs[e].state = ExecState::Dead;
         self.execs[e].gen += 1;
@@ -907,7 +1056,8 @@ impl<S: Sink> Sched<'_, S> {
                 if task.completed && task.winner_exec == e {
                     self.jobs[j].stages[0].tasks[t].completed = false;
                     self.jobs[j].stages[0].done -= 1;
-                    self.requeue_task(now, j, 0, t, Requeue::Recompute);
+                    let src = self.fail_entity(e);
+                    self.requeue_task(now, j, 0, t, Requeue::Recompute, Some(src));
                 }
             }
         }
@@ -958,7 +1108,8 @@ impl<S: Sink> Sched<'_, S> {
             let cooldown = self.cfg.fault.blacklist_cooldown_ns * (1.0 + jitter);
             self.q.push(now + cooldown, Event::Up { exec: e, gen });
         }
-        self.requeue_task(now, j, s, t, Requeue::Fail);
+        let src = self.fail_entity(e);
+        self.requeue_task(now, j, s, t, Requeue::Fail, Some(src));
     }
 
     /// An executor re-registers: a replacement after a declared death,
@@ -990,7 +1141,17 @@ impl<S: Sink> Sched<'_, S> {
     /// Re-enqueues a task after a failure/crash/lost output — unless a
     /// sibling attempt is still racing, a retry is already scheduled,
     /// or the job's retry budget is exhausted (which aborts the job).
-    fn requeue_task(&mut self, now: f64, j: usize, s: usize, t: usize, kind: Requeue) {
+    /// `src` is the failing entity, threaded into the replacement
+    /// attempt's recovery flow edge.
+    fn requeue_task(
+        &mut self,
+        now: f64,
+        j: usize,
+        s: usize,
+        t: usize,
+        kind: Requeue,
+        src: Option<EntityId>,
+    ) {
         if self.jobs[j].status != JobStatus::Live {
             return;
         }
@@ -1014,6 +1175,7 @@ impl<S: Sink> Sched<'_, S> {
             return;
         }
         self.jobs[j].retries_used += 1;
+        let edge = src.map(|en| (en, now, "flow.recovery"));
         match kind {
             Requeue::Fail => {
                 self.out.task_retries += 1;
@@ -1021,30 +1183,33 @@ impl<S: Sink> Sched<'_, S> {
                 let task = &mut self.jobs[j].stages[s].tasks[t];
                 let k = task.fails.saturating_sub(1).min(16);
                 task.retry_pending = true;
+                task.retry_src = src.map(|en| (en, now));
                 let delay = self.cfg.fault.retry_backoff_ns * (1u64 << k) as f64;
                 self.q.push(now + delay, Event::Retry { job: j, stage: s, task: t });
             }
             Requeue::Crash => {
                 self.out.crash_requeues += 1;
                 self.sink.count("cluster.crash_requeues", 1);
-                self.push_attempt(j, s, t, true);
+                self.push_attempt(now, j, s, t, Origin::Crash, edge);
             }
             Requeue::Recompute => {
                 self.out.recomputes += 1;
                 self.sink.count("cluster.recomputes", 1);
-                self.push_attempt(j, s, t, true);
+                self.push_attempt(now, j, s, t, Origin::Recompute, edge);
             }
         }
     }
 
     /// A task's backoff expired: re-enqueue it (if its job is still
     /// live and nothing completed it meanwhile).
-    fn on_retry(&mut self, j: usize, s: usize, t: usize) {
+    fn on_retry(&mut self, now: f64, j: usize, s: usize, t: usize) {
+        let src = self.jobs[j].stages[s].tasks[t].retry_src.take();
         self.jobs[j].stages[s].tasks[t].retry_pending = false;
         if self.jobs[j].status != JobStatus::Live || self.jobs[j].stages[s].tasks[t].completed {
             return;
         }
-        self.push_attempt(j, s, t, true);
+        let edge = src.map(|(en, t0)| (en, t0, "flow.recovery"));
+        self.push_attempt(now, j, s, t, Origin::Retry, edge);
     }
 
     /// Aborts a job that exhausted its retry budget: reported as
@@ -1102,7 +1267,7 @@ impl<S: Sink> Sched<'_, S> {
             let nominal = self.jobs[j].stages[s].tasks[t].nominal_ns;
             let threshold = self.cfg.spec_multiplier * median.max(nominal);
             if now - oi.work_start_ns > threshold {
-                self.launch_spec(j, s, t);
+                self.launch_spec(now, j, s, t);
             } else if !self.jobs[j].stages[s].tasks[t].spec_check {
                 // Not lagging yet: re-check exactly when it would be.
                 self.jobs[j].stages[s].tasks[t].spec_check = true;
@@ -1111,20 +1276,28 @@ impl<S: Sink> Sched<'_, S> {
         }
     }
 
-    fn launch_spec(&mut self, j: usize, s: usize, t: usize) {
+    fn launch_spec(&mut self, now: f64, j: usize, s: usize, t: usize) {
+        // The causal edge: the laggard original's lane spawned this
+        // copy.
+        let flow_from = self.jobs[j].stages[s].tasks[t].original.and_then(|o| {
+            let oi = self.attempts[o];
+            oi.dispatched.then(|| (self.exec_entity(oi.exec), now, "flow.spec"))
+        });
         let a = self.attempts.len();
         self.attempts.push(AttemptInfo {
             job: j,
             stage: s,
             task: t,
-            speculative: true,
-            recompute: false,
+            origin: Origin::Spec,
+            flow_from,
             dispatched: false,
             cancelled: false,
             doomed: false,
             finished: false,
             exec: 0,
+            pend_ns: now,
             start_ns: 0.0,
+            fetch_done_ns: 0.0,
             work_start_ns: 0.0,
             finish_ns: 0.0,
             du: None,
@@ -1137,7 +1310,7 @@ impl<S: Sink> Sched<'_, S> {
     /// A deferred laggard re-check: the original is a laggard *now* if
     /// it is still running — the stage quantile was already met when
     /// the check was scheduled.
-    fn on_spec_check(&mut self, orig: usize) {
+    fn on_spec_check(&mut self, now: f64, orig: usize) {
         if !self.cfg.speculation {
             return;
         }
@@ -1154,7 +1327,7 @@ impl<S: Sink> Sched<'_, S> {
         {
             return;
         }
-        self.launch_spec(j, s, t);
+        self.launch_spec(now, j, s, t);
     }
 
     fn on_finish(&mut self, now: f64, a: usize) -> Result<(), ClusterError> {
@@ -1178,10 +1351,24 @@ impl<S: Sink> Sched<'_, S> {
         let other = {
             let task = &self.jobs[j].stages[s].tasks[t];
             debug_assert!(!task.completed, "second finisher should have been cancelled");
-            if info.speculative { task.original } else { task.spec }
+            if info.is_spec() { task.original } else { task.spec }
         };
         if let Some(o) = other {
             if o != a {
+                if S::ENABLED {
+                    let oi = self.attempts[o];
+                    if oi.dispatched && !oi.cancelled && !oi.finished {
+                        // The win kills the racing sibling — a causal
+                        // edge from winner to loser.
+                        self.flow(
+                            "flow.spec_kill",
+                            self.exec_entity(info.exec),
+                            now,
+                            self.exec_entity(oi.exec),
+                            now,
+                        );
+                    }
+                }
                 self.cancel(o, now);
             }
         }
@@ -1197,12 +1384,17 @@ impl<S: Sink> Sched<'_, S> {
         let kind = stage.kind;
         self.out.tasks_completed += 1;
         self.out.busy_ns += service;
-        if info.recompute {
+        if info.origin.is_recompute() {
             self.out.recompute_busy_ns += service;
             self.sink.observe("cluster.recompute_service_ns", service);
         }
         self.sink.count("cluster.tasks_completed", 1);
         if S::ENABLED {
+            // The winning span carries the attempt's full causal
+            // identity: coordinates, origin, queueing milestones, and
+            // the profiled component fractions of its service window —
+            // everything the critical-path blame analysis needs.
+            let (ser_frac, de_frac, gc_frac) = self.profile(j).components(s, t);
             self.sink.span(Span {
                 entity: self.exec_entity(info.exec),
                 name: kind.span_name(),
@@ -1210,12 +1402,20 @@ impl<S: Sink> Sched<'_, S> {
                 t1_ns: now,
                 attrs: vec![
                     ("job", (j as u64).into()),
+                    ("stage", (s as u64).into()),
                     ("task", (t as u64).into()),
                     ("tenant", (self.jobs[j].tenant as u64).into()),
+                    ("origin", info.origin.label().into()),
+                    ("pend", info.pend_ns.into()),
+                    ("fetch_done", info.fetch_done_ns.into()),
+                    ("work_start", info.work_start_ns.into()),
+                    ("ser_frac", ser_frac.into()),
+                    ("de_frac", de_frac.into()),
+                    ("gc_frac", gc_frac.into()),
                 ],
             });
         }
-        if info.speculative {
+        if info.is_spec() {
             self.out.spec_wins += 1;
             self.sink.count("cluster.spec_wins", 1);
             if S::ENABLED {
@@ -1237,7 +1437,7 @@ impl<S: Sink> Sched<'_, S> {
             let profile = self.profile(j);
             if s + 1 < profile.stages() {
                 self.jobs[j].stage = s + 1;
-                self.enqueue_stage(j, s + 1);
+                self.enqueue_stage(now, j, s + 1);
             } else {
                 self.complete_job(now, j)?;
             }
@@ -1290,6 +1490,16 @@ impl<S: Sink> Sched<'_, S> {
         self.sink.observe("cluster.job_latency_ns", latency);
         self.sink
             .count(TENANT_JOB_COUNTERS[tenant.min(TENANT_JOB_COUNTERS.len() - 1)], 1);
+        if S::ENABLED {
+            // The job's causal terminus: the final stage's barrier span
+            // ends at this exact `now`.
+            self.sink.instant(Instant {
+                entity: EntityId { pid: DRIVER_PID, tid: T_MAIN },
+                name: "job.complete",
+                t_ns: now,
+                attrs: vec![("job", (j as u64).into()), ("tenant", (tenant as u64).into())],
+            });
+        }
         // Spurious in-flight recomputes of this job's stage-0 outputs
         // are obsolete now.
         if self.faults.is_some() {
@@ -1311,9 +1521,18 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterOutcome, ClusterError> 
     run_cluster_sunk(cfg, &mut NoopSink)
 }
 
-/// [`run_cluster`] with a telemetry sink: arrival instants on the
-/// driver lane, per-executor `task.*` spans, `du.wait` spans,
-/// `spec.launch`/`spec.win` instants, the fault lifecycle on the
+/// [`run_cluster`] with a telemetry sink: `job.arrival`/`stage.ready`/
+/// `job.complete` instants on the driver lane (the causal anchors the
+/// blame analysis keys on), per-executor `task.*` spans carrying each
+/// winning attempt's causal identity (job/stage/task/tenant
+/// coordinates, origin, queueing milestones, profiled component
+/// fractions), `du.wait` spans, `spec.launch`/`spec.win` instants,
+/// causal flow edges (`flow.fetch` per input transfer, `flow.du` per
+/// DU-queue handoff, `flow.recovery` from a failure to its replacement
+/// attempt, `flow.spec` from a laggard to its copy, `flow.spec_kill`
+/// from a winner to the sibling it kills), fixed-grid
+/// `cluster.timeline.*` gauge samples every
+/// [`ClusterConfig::timeline_bucket_ns`], the fault lifecycle on the
 /// `T_FAIL` lanes (`exec.crash`/`fail.undetected`/`task.fail`/
 /// `exec.blacklist`/`exec.up`/`du.fail`, driver `job.shed`/
 /// `job.failed`), queue-depth and running-task gauges, and every
@@ -1430,6 +1649,7 @@ pub fn run_cluster_sunk<S: Sink>(
             fold_checksum: 0,
         },
         job_digests: vec![0; arrivals.len()],
+        flow_seq: 0,
         sink,
     };
 
@@ -1445,7 +1665,19 @@ pub fn run_cluster_sunk<S: Sink>(
         sched.q.push(a.t_ns, Event::Arrival(jid));
     }
 
+    let bucket = cfg.timeline_bucket_ns;
+    let mut next_sample = bucket;
     while let Some((now, ev)) = sched.q.pop() {
+        if S::ENABLED && bucket > 0.0 {
+            // Gauge snapshots land on the fixed bucket grid *before*
+            // the event at `now` applies, so each sample reflects the
+            // state that held across the bucket boundary — the gauges
+            // are step functions of the event clock.
+            while next_sample <= now {
+                sched.emit_timeline(next_sample);
+                next_sample += bucket;
+            }
+        }
         match ev {
             Event::Arrival(jid) => {
                 sched.out.arrivals += 1;
@@ -1468,11 +1700,11 @@ pub fn run_cluster_sunk<S: Sink>(
                     sched.sink.count("cluster.jobs_shed", 1);
                     sched.driver_fail_instant("job.shed", now, jid);
                 } else {
-                    sched.enqueue_stage(jid, 0);
+                    sched.enqueue_stage(now, jid, 0);
                 }
             }
             Event::Finish(a) => sched.on_finish(now, a)?,
-            Event::SpecCheck(orig) => sched.on_spec_check(orig),
+            Event::SpecCheck(orig) => sched.on_spec_check(now, orig),
             Event::Crash { exec, gen } => {
                 if sched.execs[exec].gen == gen {
                     sched.crash_exec(now, exec);
@@ -1505,7 +1737,7 @@ pub fn run_cluster_sunk<S: Sink>(
                 }
             }
             Event::Up { exec, gen } => sched.on_up(now, exec, gen),
-            Event::Retry { job, stage, task } => sched.on_retry(job, stage, task),
+            Event::Retry { job, stage, task } => sched.on_retry(now, job, stage, task),
         }
         sched.dispatch(now);
     }

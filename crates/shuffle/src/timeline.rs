@@ -14,7 +14,7 @@ use sim::net::Fabric;
 use std::collections::VecDeque;
 use store::Engine;
 use telemetry::ids::{MAPPER_PID_BASE, REDUCER_PID_BASE, T_MAIN, T_NIC, T_SEND};
-use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
+use telemetry::{EntityId, FlowEvent, Instant, NoopSink, Sink, Span};
 
 /// Network-and-makespan statistics of one shuffle.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -110,6 +110,7 @@ pub fn compose_sunk<S: Sink>(
     let mut inflight: Vec<VecDeque<(f64, u64)>> = vec![VecDeque::new(); cfg.reducers];
     let mut inflight_bytes = vec![0u64; cfg.reducers];
     let mut stats = NetStats::default();
+    let mut flow_seq = 0u64;
 
     for i in order {
         let msg = msgs[i];
@@ -246,6 +247,17 @@ pub fn compose_sunk<S: Sink>(
                     ("bytes", wire.into()),
                 ],
             });
+            // Causal edge: this batch's wire departure feeds the
+            // reducer's deserialize start.
+            sink.flow(FlowEvent {
+                id: flow_seq,
+                name: "flow.fetch",
+                src: send_lane,
+                t0_ns: attempt_start,
+                dst: EntityId { pid: REDUCER_PID_BASE + dst as u32, tid: T_MAIN },
+                t1_ns: de_start,
+            });
+            flow_seq += 1;
         }
         inflight[dst].push_back((de_done, wire));
         inflight_bytes[dst] += wire;

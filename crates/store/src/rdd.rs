@@ -22,7 +22,7 @@ use sdheap::gc;
 use sdheap::{Addr, Heap, KlassRegistry};
 use sim::{DiskConfig, FaultConfig};
 use telemetry::ids::{DRIVER_PID, T_DISK, T_MAIN};
-use telemetry::{EntityId, Instant, NoopSink, Sink, Span};
+use telemetry::{EntityId, FlowEvent, Instant, NoopSink, Sink, Span};
 use workloads::AggConfig;
 
 use crate::block::{
@@ -372,6 +372,7 @@ pub fn run_rdd_sunk<S: Sink>(cfg: &RddConfig, sink: &mut S) -> Result<RddOutcome
 
     let mut lineage = Lineage { cfg, parts: &parts };
     let mut passes = Vec::with_capacity(cfg.passes);
+    let mut flow_seq = 0u64;
     for pass in 0..cfg.passes {
         let before = store.stats();
         let start = now;
@@ -401,6 +402,17 @@ pub fn run_rdd_sunk<S: Sink>(cfg: &RddConfig, sink: &mut S) -> Result<RddOutcome
                             t1_ns: now,
                             attrs: vec![part],
                         });
+                        // Causal edge: the spill device's read feeds
+                        // the driver's resume.
+                        sink.flow(FlowEvent {
+                            id: flow_seq,
+                            name: "flow.spill",
+                            src: EntityId { pid: DRIVER_PID, tid: T_DISK },
+                            t0_ns: at,
+                            dst: driver,
+                            t1_ns: now,
+                        });
+                        flow_seq += 1;
                     }
                     AccessOutcome::Recomputed => {
                         sink.count("store.recomputes", 1);

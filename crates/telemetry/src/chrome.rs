@@ -4,9 +4,12 @@
 //! that Perfetto and `chrome://tracing` load directly: metadata events
 //! name each process (executor / device) and thread (work stream),
 //! complete events (`"ph": "X"`) render spans, instant events
-//! (`"ph": "i"`) render point events. One event per line, all ordering
-//! derived from sorted keys and stable sorts on simulated timestamps —
-//! the output is byte-identical for any worker-thread count.
+//! (`"ph": "i"`) render point events, flow events (`"ph": "s"` /
+//! `"ph": "f"`) render causal edges as arrows across entities, and
+//! counter events (`"ph": "C"`) render timestamped gauge samples as
+//! stacked timeline tracks. One event per line, all ordering derived
+//! from sorted keys and stable sorts on simulated timestamps — the
+//! output is byte-identical for any worker-thread count.
 
 use crate::json::esc;
 use crate::span::{Attr, AttrValue, Recorder};
@@ -71,6 +74,9 @@ pub fn chrome_trace(rec: &Recorder) -> String {
     enum Ev<'a> {
         Span(&'a crate::span::Span),
         Instant(&'a crate::span::Instant),
+        FlowStart(&'a crate::span::FlowEvent),
+        FlowEnd(&'a crate::span::FlowEvent),
+        Counter(&'a crate::span::Sample),
     }
     let mut events: Vec<(f64, u32, u32, &'static str, Ev<'_>)> = Vec::new();
     for s in &rec.spans {
@@ -78,6 +84,16 @@ pub fn chrome_trace(rec: &Recorder) -> String {
     }
     for e in &rec.instants {
         events.push((e.t_ns, e.entity.pid, e.entity.tid, e.name, Ev::Instant(e)));
+    }
+    for f in &rec.flows {
+        // The start binds to the slice enclosing `t0_ns` on the source
+        // lane, the end to the slice enclosing `t1_ns` on the
+        // destination; pushing the start first keeps exact ties stable.
+        events.push((f.t0_ns, f.src.pid, f.src.tid, f.name, Ev::FlowStart(f)));
+        events.push((f.t1_ns, f.dst.pid, f.dst.tid, f.name, Ev::FlowEnd(f)));
+    }
+    for c in &rec.samples {
+        events.push((c.t_ns, c.entity.pid, c.entity.tid, c.name, Ev::Counter(c)));
     }
     events.sort_by(|a, b| {
         a.0.total_cmp(&b.0)
@@ -107,6 +123,38 @@ pub fn chrome_trace(rec: &Recorder) -> String {
                     esc(name)
                 );
                 push_args(&mut line, &e.attrs);
+            }
+            // Flow ids are scoped by `cat` + `name`, so each emitter's
+            // per-subsystem counter stays collision-free in a merged
+            // trace.
+            Ev::FlowStart(f) => {
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"s\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"id\":{},\"cat\":\"{}\",\"name\":\"{}\"",
+                    us(f.t0_ns),
+                    f.id,
+                    esc(name),
+                    esc(name)
+                );
+            }
+            Ev::FlowEnd(f) => {
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"id\":{},\"cat\":\"{}\",\"name\":\"{}\"",
+                    us(f.t1_ns),
+                    f.id,
+                    esc(name),
+                    esc(name)
+                );
+            }
+            Ev::Counter(c) => {
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\"args\":{{\"value\":{:.3}}}",
+                    us(c.t_ns),
+                    esc(name),
+                    c.value
+                );
             }
         }
         line.push('}');
@@ -169,6 +217,33 @@ mod tests {
         assert!(lines[5].contains("\"dur\":1.000"));
         assert!(lines[5].contains("\"args\":{\"bytes\":64}"));
         assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}\n"));
+    }
+
+    #[test]
+    fn flows_and_counters_render() {
+        use crate::span::{FlowEvent, Sample};
+        let mut r = Recorder::new();
+        r.flow(FlowEvent {
+            id: 7,
+            name: "flow.fetch",
+            src: EntityId { pid: 1, tid: 2 },
+            t0_ns: 1000.0,
+            dst: EntityId { pid: 3, tid: 0 },
+            t1_ns: 2500.0,
+        });
+        r.sample(Sample {
+            entity: EntityId { pid: 1, tid: 0 },
+            name: "queue_depth",
+            t_ns: 1500.0,
+            value: 4.0,
+        });
+        let json = chrome_trace(&r);
+        let lines: Vec<&str> = json.lines().collect();
+        assert!(lines[1].contains("\"ph\":\"s\"") && lines[1].contains("\"id\":7"));
+        assert!(lines[1].contains("\"pid\":1") && lines[1].contains("\"tid\":2"));
+        assert!(lines[2].contains("\"ph\":\"C\"") && lines[2].contains("\"value\":4.000"));
+        assert!(lines[3].contains("\"ph\":\"f\"") && lines[3].contains("\"bp\":\"e\""));
+        assert!(lines[3].contains("\"pid\":3") && lines[3].contains("\"ts\":2.500"));
     }
 
     #[test]

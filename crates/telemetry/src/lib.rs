@@ -18,7 +18,15 @@
 //! * [`chrome`] — an exporter writing Chrome trace-event JSON loadable
 //!   in Perfetto / `chrome://tracing`: one "process" per executor or
 //!   device, one "thread" per work stream (serialize, spill disk, flow
-//!   control, NIC);
+//!   control, NIC), flow arrows for cross-entity causal edges, counter
+//!   tracks for timestamped gauge samples;
+//! * [`critpath`] — the causal-trace analysis layer: rebuilds each
+//!   job's dependency DAG from a [`Recorder`], walks the critical
+//!   path, and attributes every nanosecond of job latency to a closed
+//!   blame category set under an exact conservation law;
+//! * [`recon`] — the shared counter-reconciliation checklist the bench
+//!   binaries drive to prove exported telemetry agrees with the
+//!   report-side numbers;
 //! * [`json`] — the one shared pretty-JSON writer behind every report
 //!   and exporter in the workspace (deduplicating the hand-rolled
 //!   `format!` JSON the shuffle and store reports used to copy-paste);
@@ -31,14 +39,19 @@
 //! dependency outside `std`.
 
 pub mod chrome;
+pub mod critpath;
 pub mod ids;
 pub mod json;
 pub mod metrics;
 pub mod rate;
+pub mod recon;
 pub mod span;
 
 pub use chrome::chrome_trace;
 pub use json::JsonWriter;
 pub use metrics::{Gauge, Histogram, Metrics};
 pub use rate::{per_sec, ratio};
-pub use span::{AttrValue, EntityId, Instant, NoopSink, Recorder, Sink, Span};
+pub use recon::{Check, Recon};
+pub use span::{
+    AttrValue, EntityId, FlowEvent, Instant, NoopSink, Recorder, Sample, Sink, Span,
+};

@@ -131,12 +131,21 @@ impl Histogram {
 
     /// The inclusive value range `[lo, hi]` the `q`-quantile
     /// observation fell in (bucket bounds tightened by the observed
-    /// min/max). `None` when empty. `q` is clamped to `[0, 1]`.
+    /// min/max). `None` when empty. `q` is clamped to `[0, 1]` (NaN
+    /// clamps to 0). p0 and p100 are exact: the observed min and max
+    /// are tracked outside the buckets, so both endpoints collapse to
+    /// a zero-width interval instead of a whole-bucket guess.
     pub fn percentile_bounds(&self, q: f64) -> Option<(f64, f64)> {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q == 0.0 {
+            return Some((self.min, self.min));
+        }
+        if q == 1.0 {
+            return Some((self.max, self.max));
+        }
         // 1-based rank of the quantile observation.
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -152,7 +161,8 @@ impl Histogram {
     }
 
     /// A point estimate of the `q`-quantile: the upper edge of its
-    /// bucket, clamped to the observed range. `None` when empty.
+    /// bucket, clamped to the observed range (exact for p0/p100).
+    /// `None` when empty — the caller decides how to render "no data".
     pub fn percentile(&self, q: f64) -> Option<f64> {
         self.percentile_bounds(q).map(|(_, hi)| hi)
     }
@@ -301,11 +311,13 @@ impl Metrics {
             w.begin_obj();
             w.field_u64("count", h.count);
             w.field_f64("sum", h.sum, 3);
-            w.field_f64("min", h.min, 3);
-            w.field_f64("max", h.max, 3);
-            w.field_f64("p50", h.percentile(0.50).expect("non-empty"), 3);
-            w.field_f64("p90", h.percentile(0.90).expect("non-empty"), 3);
-            w.field_f64("p99", h.percentile(0.99).expect("non-empty"), 3);
+            // An empty histogram (min/max still at ±∞) renders as
+            // zeros rather than panicking or emitting non-finite JSON.
+            w.field_f64("min", if h.count > 0 { h.min } else { 0.0 }, 3);
+            w.field_f64("max", if h.count > 0 { h.max } else { 0.0 }, 3);
+            w.field_f64("p50", h.percentile(0.50).unwrap_or(0.0), 3);
+            w.field_f64("p90", h.percentile(0.90).unwrap_or(0.0), 3);
+            w.field_f64("p99", h.percentile(0.99).unwrap_or(0.0), 3);
             w.key("buckets");
             w.begin_arr();
             for (hi, c) in h.nonzero_buckets() {
@@ -381,12 +393,53 @@ mod tests {
         // Rank of p50 over 5 samples = 3rd smallest = 50.0.
         let (lo, hi) = h.percentile_bounds(0.5).unwrap();
         assert!(lo <= 50.0 && 50.0 <= hi, "[{lo}, {hi}]");
-        // p100 clamps to the observed max.
+        // p100 is exact: the observed max, not a bucket edge.
         assert_eq!(h.percentile(1.0).unwrap(), 500.0);
-        // p0 bucket is tightened by the observed min.
-        let (lo0, _) = h.percentile_bounds(0.0).unwrap();
-        assert_eq!(lo0, 1.0);
+        assert_eq!(h.percentile_bounds(1.0).unwrap(), (500.0, 500.0));
+        // p0 is exact: the observed min, not the bucket's upper edge.
+        assert_eq!(h.percentile(0.0).unwrap(), 1.0);
+        assert_eq!(h.percentile_bounds(0.0).unwrap(), (1.0, 1.0));
         assert!(Histogram::default_bounds().percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_defined() {
+        // Empty: every quantile is None, never a panic or ±∞.
+        let empty = Histogram::default_bounds();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert!(empty.percentile(q).is_none());
+            assert!(empty.percentile_bounds(q).is_none());
+        }
+
+        // Single observation: all quantiles collapse onto it.
+        let mut one = Histogram::default_bounds();
+        one.record(42.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(one.percentile(q).unwrap(), 42.0, "q={q}");
+        }
+
+        // Out-of-range and NaN quantiles clamp to the endpoints.
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        h.record(3.0);
+        h.record(70.0);
+        assert_eq!(h.percentile(-0.5).unwrap(), 3.0);
+        assert_eq!(h.percentile(2.0).unwrap(), 70.0);
+        assert_eq!(h.percentile(f64::NAN).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeros_not_garbage() {
+        let mut m = Metrics::new();
+        // Merging a registry that holds a never-observed histogram is
+        // the one path that gets an empty histogram into `to_json`.
+        let mut other = Metrics::new();
+        other.hists.insert("lat", Histogram::default_bounds());
+        m.merge(other);
+        let json = m.to_json();
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"min\": 0.000"));
+        assert!(json.contains("\"p99\": 0.000"));
+        assert!(!json.contains("inf") || json.contains("\"inf\""));
     }
 
     #[test]

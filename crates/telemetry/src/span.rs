@@ -67,6 +67,45 @@ pub struct Span {
     pub attrs: Vec<Attr>,
 }
 
+/// A causal edge between two entities' timelines: work at `src` (the
+/// binding point `t0_ns`) caused work at `dst` (visible from `t1_ns`).
+/// Rendered as a Chrome flow-event pair so Perfetto draws the arrow.
+///
+/// `id` must be unique among flows sharing a `name` within one trace;
+/// emitters keep a monotonic per-subsystem counter (the event loops are
+/// sequential on the simulated clock, so the numbering is
+/// deterministic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowEvent {
+    /// Flow id, unique per `name` within a trace.
+    pub id: u64,
+    /// Edge kind (e.g. `"flow.fetch"`, `"flow.recovery"`).
+    pub name: &'static str,
+    /// Where the cause happened.
+    pub src: EntityId,
+    /// When the cause happened, simulated nanoseconds.
+    pub t0_ns: f64,
+    /// Where the effect landed.
+    pub dst: EntityId,
+    /// When the effect became visible, simulated nanoseconds.
+    pub t1_ns: f64,
+}
+
+/// One timestamped gauge sample — unlike [`crate::metrics::Gauge`]
+/// (which only keeps an aggregate) these retain *when* each value was
+/// observed, so a time-sliced timeline can be rebuilt after the run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// The entity the series belongs to (usually the driver).
+    pub entity: EntityId,
+    /// Series name (e.g. `"cluster.timeline.queue_depth"`).
+    pub name: &'static str,
+    /// Sample time, simulated nanoseconds.
+    pub t_ns: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// A point event on an entity's simulated timeline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Instant {
@@ -102,6 +141,14 @@ pub trait Sink: Default + Send {
     /// Records an instant event.
     #[inline(always)]
     fn instant(&mut self, _event: Instant) {}
+
+    /// Records a causal edge between two entities.
+    #[inline(always)]
+    fn flow(&mut self, _flow: FlowEvent) {}
+
+    /// Records one timestamped gauge sample.
+    #[inline(always)]
+    fn sample(&mut self, _sample: Sample) {}
 
     /// Adds `_delta` to the named counter.
     #[inline(always)]
@@ -150,6 +197,10 @@ pub struct Recorder {
     pub spans: Vec<Span>,
     /// Recorded instant events, in emission/merge order.
     pub instants: Vec<Instant>,
+    /// Recorded causal edges, in emission/merge order.
+    pub flows: Vec<FlowEvent>,
+    /// Recorded timestamped gauge samples, in emission/merge order.
+    pub samples: Vec<Sample>,
     /// The metrics registry.
     pub metrics: Metrics,
     /// Process names by pid.
@@ -186,6 +237,19 @@ impl Sink for Recorder {
         self.instants.push(event);
     }
 
+    fn flow(&mut self, flow: FlowEvent) {
+        debug_assert!(
+            flow.t1_ns >= flow.t0_ns,
+            "flow {} arrives before it departs",
+            flow.name
+        );
+        self.flows.push(flow);
+    }
+
+    fn sample(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
     fn count(&mut self, name: &'static str, delta: u64) {
         self.metrics.count(name, delta);
     }
@@ -216,11 +280,20 @@ impl Sink for Recorder {
         for e in &mut self.instants {
             e.t_ns += delta_ns;
         }
+        for f in &mut self.flows {
+            f.t0_ns += delta_ns;
+            f.t1_ns += delta_ns;
+        }
+        for s in &mut self.samples {
+            s.t_ns += delta_ns;
+        }
     }
 
     fn absorb(&mut self, child: Recorder) {
         self.spans.extend(child.spans);
         self.instants.extend(child.instants);
+        self.flows.extend(child.flows);
+        self.samples.extend(child.samples);
         self.metrics.merge(child.metrics);
         for (pid, name) in child.process_names {
             self.process_names.entry(pid).or_insert(name);
@@ -275,6 +348,32 @@ mod tests {
         assert_eq!(parent.spans.len(), 2);
         assert_eq!(parent.spans[0].entity.pid, 1);
         assert_eq!(parent.metrics.counter("n"), 5);
+    }
+
+    #[test]
+    fn flows_and_samples_shift_and_absorb() {
+        let mut parent = Recorder::new();
+        let mut child = Recorder::new();
+        child.flow(FlowEvent {
+            id: 0,
+            name: "flow.fetch",
+            src: EntityId { pid: 1, tid: 0 },
+            t0_ns: 5.0,
+            dst: EntityId { pid: 2, tid: 0 },
+            t1_ns: 9.0,
+        });
+        child.sample(Sample {
+            entity: EntityId { pid: 1, tid: 0 },
+            name: "depth",
+            t_ns: 7.0,
+            value: 3.0,
+        });
+        child.shift(100.0);
+        parent.absorb(child);
+        assert_eq!(parent.flows.len(), 1);
+        assert_eq!(parent.flows[0].t0_ns, 105.0);
+        assert_eq!(parent.flows[0].t1_ns, 109.0);
+        assert_eq!(parent.samples[0].t_ns, 107.0);
     }
 
     #[test]

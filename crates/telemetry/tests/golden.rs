@@ -2,7 +2,7 @@
 //! recording is pinned byte-for-byte. Any change to the exporter's
 //! format, ordering, or unit conversion shows up here first.
 
-use telemetry::span::Span;
+use telemetry::span::{FlowEvent, Sample, Span};
 use telemetry::{chrome_trace, EntityId, Instant, Recorder, Sink};
 
 const GOLDEN: &str = r#"{"traceEvents":[
@@ -12,7 +12,10 @@ const GOLDEN: &str = r#"{"traceEvents":[
 {"ph":"M","name":"thread_name","pid":100,"tid":1,"args":{"name":"spill disk"}},
 {"ph":"X","pid":1,"tid":0,"ts":1.000,"dur":2.500,"name":"serialize","args":{"bytes":256,"backend":"kryo"}},
 {"ph":"i","pid":1,"tid":0,"ts":2.000,"s":"t","name":"evict","args":{"block":3}},
+{"ph":"C","pid":1,"tid":0,"ts":2.000,"name":"queue_depth","args":{"value":2.000}},
 {"ph":"X","pid":100,"tid":1,"ts":2.000,"dur":0.001,"name":"spill.write"},
+{"ph":"s","pid":1,"tid":0,"ts":3.500,"id":0,"cat":"flow.fetch","name":"flow.fetch"},
+{"ph":"f","bp":"e","pid":100,"tid":1,"ts":4.000,"id":0,"cat":"flow.fetch","name":"flow.fetch"},
 {"ph":"i","pid":100,"tid":1,"ts":4.750,"s":"t","name":"quote \"q\""}
 ],"displayTimeUnit":"ns"}
 "#;
@@ -51,6 +54,24 @@ fn chrome_trace_matches_golden() {
         name: "quote \"q\"",
         t_ns: 4750.0,
         attrs: Vec::new(),
+    });
+    // A causal edge: departs the driver when the serialize span ends,
+    // lands on the spill lane — rendered as an s/f flow pair with the
+    // id scoped by cat.
+    r.flow(FlowEvent {
+        id: 0,
+        name: "flow.fetch",
+        src: EntityId { pid: 1, tid: 0 },
+        t0_ns: 3500.0,
+        dst: EntityId { pid: 100, tid: 1 },
+        t1_ns: 4000.0,
+    });
+    // A gauge sample at the eviction instant ("evict" sorts first).
+    r.sample(Sample {
+        entity: EntityId { pid: 1, tid: 0 },
+        name: "queue_depth",
+        t_ns: 2000.0,
+        value: 2.0,
     });
 
     assert_eq!(chrome_trace(&r), GOLDEN);

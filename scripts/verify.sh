@@ -74,6 +74,12 @@ cmp target/trace_report_jobs1.json target/trace_report_jobs4.json \
   || { echo "trace report differs between 1 and 4 jobs"; exit 1; }
 cmp target/trace_jobs1.json target/trace_jobs4.json \
   || { echo "chrome trace differs between 1 and 4 jobs"; exit 1; }
+# The causal layer: the exported trace must carry flow (s/f) edges for
+# the shuffle fetch chain — their exact rendering is pinned by the
+# telemetry golden test, their presence end-to-end here.
+grep -q '"ph":"s"' target/trace_jobs1.json \
+  && grep -q '"cat":"flow.fetch"' target/trace_jobs1.json \
+  || { echo "chrome trace lost its causal flow events"; exit 1; }
 
 echo "== cluster + cluster-faults smoke, thread-count determinism =="
 # One invocation covers both the healthy sweeps and the fault domain:
@@ -86,8 +92,12 @@ echo "== cluster + cluster-faults smoke, thread-count determinism =="
 # fault domain, and it reconciles the exported telemetry counters
 # (including every cluster.* fault counter, on a healthy cell and on a
 # fault-storm cell) against its report — exiting non-zero on any
-# mismatch. The cmp then proves the whole report, fault ledger
-# included, is byte-identical for 1 vs 4 worker threads.
+# mismatch. The same traced cells feed the causal critical-path blame
+# analysis, whose conservation law (the nine categories sum exactly to
+# each job's latency, critical path bounded by the makespan) is also
+# enforced with a non-zero exit. The cmp then proves the whole report
+# — fault ledger, blame and timeline blocks included — is
+# byte-identical for 1 vs 4 worker threads.
 cargo run --release -p cereal-bench --bin cluster $CARGO_FLAGS -- \
   --smoke --jobs 1 --out target/cluster_jobs1.json
 cargo run --release -p cereal-bench --bin cluster $CARGO_FLAGS -- \
